@@ -1,0 +1,116 @@
+// Ablation: text vs binary time-independent trace format (the paper's
+// "future work" §7: "reduce the size of the traces, e.g., using a binary
+// format"). Reports on-disk size and end-to-end parse speed.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "trace/binary_format.hpp"
+#include "trace/text_format.hpp"
+#include "trace/trace_set.hpp"
+
+using namespace tir::trace;
+namespace fs = std::filesystem;
+
+namespace {
+
+// A realistic LU-like action mix.
+std::vector<Action> sample_actions(int n) {
+  std::vector<Action> actions;
+  actions.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0:
+        actions.push_back({7, ActionType::compute, -1, 81920.0 + i % 97, 0, 0});
+        break;
+      case 1:
+        actions.push_back({7, ActionType::recv, 3, 0, 0, 0});
+        break;
+      case 2:
+        actions.push_back({7, ActionType::send, 11, 520, 0, 0});
+        break;
+      case 3:
+        actions.push_back({7, ActionType::irecv, 15, 106080, 0, 0});
+        break;
+      default:
+        actions.push_back({7, ActionType::wait, -1, 0, 0, 0});
+        break;
+    }
+  }
+  return actions;
+}
+
+struct Files {
+  fs::path text;
+  fs::path binary;
+  Files() {
+    const auto dir = fs::temp_directory_path() / "tir_bench_formats";
+    fs::create_directories(dir);
+    text = dir / "sample.trace";
+    binary = dir / "sample.btrace";
+    const auto actions = sample_actions(200000);
+    {
+      TextTraceWriter w(text);
+      for (const auto& a : actions) w.write(a);
+    }
+    {
+      BinaryTraceWriter w(binary, 7);
+      for (const auto& a : actions) w.write(a);
+    }
+  }
+};
+
+const Files& files() {
+  static Files f;
+  return f;
+}
+
+void BM_ParseText(benchmark::State& state) {
+  for (auto _ : state) {
+    TextTraceReader reader(files().text);
+    std::uint64_t n = 0;
+    while (auto a = reader.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(fs::file_size(files().text));
+}
+BENCHMARK(BM_ParseText)->Unit(benchmark::kMillisecond);
+
+void BM_ParseBinary(benchmark::State& state) {
+  for (auto _ : state) {
+    BinaryTraceReader reader(files().binary);
+    std::uint64_t n = 0;
+    while (auto a = reader.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(fs::file_size(files().binary));
+}
+BENCHMARK(BM_ParseBinary)->Unit(benchmark::kMillisecond);
+
+void BM_WriteText(benchmark::State& state) {
+  const auto actions = sample_actions(50000);
+  const auto out = fs::temp_directory_path() / "tir_bench_formats_w.trace";
+  for (auto _ : state) {
+    TextTraceWriter w(out);
+    for (const auto& a : actions) w.write(a);
+    benchmark::DoNotOptimize(w.close());
+  }
+}
+BENCHMARK(BM_WriteText)->Unit(benchmark::kMillisecond);
+
+void BM_WriteBinary(benchmark::State& state) {
+  const auto actions = sample_actions(50000);
+  const auto out = fs::temp_directory_path() / "tir_bench_formats_w.btrace";
+  for (auto _ : state) {
+    BinaryTraceWriter w(out, 7);
+    for (const auto& a : actions) w.write(a);
+    benchmark::DoNotOptimize(w.close());
+  }
+}
+BENCHMARK(BM_WriteBinary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 3: sizes of the TAU traces vs the time-independent traces, and the
+// action counts, for LU classes B and C on 8..64 processes.
+//
+// Paper shapes to reproduce:
+//   - TI traces are roughly an order of magnitude smaller than TAU's,
+//     with the ratio slightly decreasing as processes increase;
+//   - both sizes grow linearly with the process count;
+//   - class C carries ~1.6x the actions of class B.
+//
+// Sizes are also extrapolated to the full iteration count (they scale
+// linearly in the iterations actually run).
+#include <cstdio>
+
+#include "acquisition/acquisition.hpp"
+#include "apps/lu.hpp"
+#include "bench_util.hpp"
+#include "support/units.hpp"
+
+using namespace tir;
+
+int main() {
+  const double scale = bench::scale();
+  bench::banner("Table 3 — TAU vs time-independent trace sizes",
+                "LU classes B and C, 8..64 processes; iteration fraction " +
+                    std::to_string(scale) +
+                    " (sizes extrapolated to the full run)");
+
+  std::printf("%-6s %5s | %12s %14s %7s | %12s | %14s %14s\n", "class",
+              "procs", "TAU (MiB)", "TI (MiB)", "ratio", "actions(M)",
+              "TAU full(MiB)", "TI full(MiB)");
+  for (const auto cls : {apps::NpbClass::B, apps::NpbClass::C}) {
+    double prev_actions = 0;
+    for (const int procs : {8, 16, 32, 64}) {
+      apps::LuConfig cfg;
+      cfg.cls = cls;
+      cfg.nprocs = procs;
+      cfg.iteration_scale = scale;
+
+      const auto workdir = bench::fresh_workdir(
+          "table3_" + apps::to_string(cls) + "_" + std::to_string(procs));
+      bench::WorkdirGuard guard(workdir);
+
+      acq::AcquisitionSpec spec;
+      spec.app = apps::make_lu_app(cfg);
+      spec.workdir = workdir;
+      spec.run_uninstrumented_baseline = false;
+      const auto r = acq::run_acquisition(spec);
+
+      const double extrapolate =
+          static_cast<double>(apps::lu_iterations(cls)) / cfg.iterations();
+      const double tau_mib = r.tau_bytes / 1048576.0;
+      const double ti_mib = r.ti_bytes / 1048576.0;
+      std::printf("%-6s %5d | %12.1f %14.2f %7.2f | %12.2f | %14.1f %14.1f\n",
+                  apps::to_string(cls).c_str(), procs, tau_mib, ti_mib,
+                  tau_mib / ti_mib, r.actions / 1e6 * extrapolate,
+                  tau_mib * extrapolate, ti_mib * extrapolate);
+      std::fflush(stdout);
+      prev_actions = static_cast<double>(r.actions);
+      (void)prev_actions;
+    }
+  }
+  std::printf("\nPaper reference (full runs): B/64: TAU 3166 MiB vs TI 345 "
+              "MiB (9.18x), 22.73M actions;\nC/64: TAU 5026 MiB vs TI 552 "
+              "MiB (9.1x), 36.17M actions.\n");
+  return 0;
+}

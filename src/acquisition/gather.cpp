@@ -1,0 +1,98 @@
+#include "acquisition/gather.hpp"
+
+#include "mpisim/mpi.hpp"
+#include "support/error.hpp"
+
+namespace tir::acq {
+
+GatherPlan plan_knomial_gather(const std::vector<std::uint64_t>& file_bytes,
+                               int arity) {
+  if (arity < 1) throw Error("gather: arity must be >= 1");
+  const int n = static_cast<int>(file_bytes.size());
+  if (n == 0) throw Error("gather: no files");
+
+  GatherPlan plan;
+  plan.arity = arity;
+  plan.bytes_sent.assign(static_cast<std::size_t>(n), 0);
+
+  // held[r] accumulates the bundles level by level; when r first acts as a
+  // sender, it forwards everything it holds and drops out.
+  std::vector<std::uint64_t> held = file_bytes;
+  const int radix = arity + 1;
+  int step = 1;
+  int steps = 0;
+  while (step < n) {
+    ++steps;
+    for (int r = 0; r < n; r += step) {
+      const int digit = (r / step) % radix;
+      if (digit == 0) continue;
+      if (r % (step * radix) != digit * step) continue;  // not this level
+      const int parent = r - digit * step;
+      plan.bytes_sent[static_cast<std::size_t>(r)] =
+          held[static_cast<std::size_t>(r)];
+      held[static_cast<std::size_t>(parent)] +=
+          held[static_cast<std::size_t>(r)];
+    }
+    step *= radix;
+  }
+  plan.steps = steps;
+  return plan;
+}
+
+double simulate_gather(const plat::Platform& platform,
+                       const std::vector<int>& node_hosts,
+                       const std::vector<std::uint64_t>& file_bytes,
+                       int arity) {
+  if (node_hosts.size() != file_bytes.size())
+    throw Error("gather: node/file count mismatch");
+  const int n = static_cast<int>(file_bytes.size());
+  if (n == 1) return 0.0;
+
+  // Precompute each rank's accumulated bundle so actors know their sizes.
+  std::vector<std::uint64_t> held = file_bytes;
+  struct Exchange {
+    int level;
+    int peer;
+    std::uint64_t bytes;
+    bool sending;
+  };
+  std::vector<std::vector<Exchange>> schedule(static_cast<std::size_t>(n));
+  const int radix = arity + 1;
+  int step = 1;
+  int level = 0;
+  while (step < n) {
+    for (int r = 0; r < n; r += step) {
+      const int digit = (r / step) % radix;
+      if (digit == 0) continue;
+      if (r % (step * radix) != digit * step) continue;
+      const int parent = r - digit * step;
+      const std::uint64_t bytes = held[static_cast<std::size_t>(r)];
+      schedule[static_cast<std::size_t>(r)].push_back(
+          Exchange{level, parent, bytes, true});
+      schedule[static_cast<std::size_t>(parent)].push_back(
+          Exchange{level, r, bytes, false});
+      held[static_cast<std::size_t>(parent)] += bytes;
+    }
+    step *= radix;
+    ++level;
+  }
+
+  sim::Engine engine(platform);
+  mpi::World world(engine, node_hosts);
+  for (int r = 0; r < n; ++r) {
+    const auto& plan = schedule[static_cast<std::size_t>(r)];
+    world.launch_rank(r, [plan](mpi::Rank& rank) -> sim::Co<void> {
+      for (const Exchange& exchange : plan) {
+        if (exchange.sending)
+          co_await rank.send(exchange.peer, exchange.bytes, exchange.level);
+        else
+          co_await rank.recv(exchange.peer, exchange.bytes, exchange.level);
+      }
+    });
+  }
+  engine.run();
+  world.check_quiescent();
+  return engine.now();
+}
+
+}  // namespace tir::acq

@@ -1,0 +1,38 @@
+// K-nomial tree gathering of the per-process traces (paper §4.3):
+// "A common and efficient approach is to rely on a K-nomial tree reduction
+// allowing for log_{K+1}(N) steps, where N is the total number of files and
+// K is the arity of the tree."
+//
+// The gather is *simulated* on the acquisition platform: one actor per
+// node sends its accumulated trace bundle to its K-nomial parent, level by
+// level, and the simulated makespan is the gathering time reported in the
+// Figure 7 breakdown. (On this machine the files already share a disk, so
+// there is no physical copy to perform.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkern/engine.hpp"
+
+namespace tir::acq {
+
+struct GatherPlan {
+  int arity = 4;         ///< K (the paper's experiments use a 4-nomial tree)
+  int steps = 0;         ///< ceil(log_{K+1} N)
+  /// bytes_sent[r] = total bundle rank r forwards to its parent (0 = root).
+  std::vector<std::uint64_t> bytes_sent;
+};
+
+/// Static shape of the K-nomial reduction over `file_bytes.size()` files.
+GatherPlan plan_knomial_gather(const std::vector<std::uint64_t>& file_bytes,
+                               int arity);
+
+/// Simulates the gather of `file_bytes[i]` (held by a process on
+/// `node_hosts[i]`) to node 0 and returns the simulated makespan.
+double simulate_gather(const plat::Platform& platform,
+                       const std::vector<int>& node_hosts,
+                       const std::vector<std::uint64_t>& file_bytes,
+                       int arity);
+
+}  // namespace tir::acq

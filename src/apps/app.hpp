@@ -1,0 +1,23 @@
+// Application abstraction: an MPI workload usable with any MpiApi
+// implementation — the plain simulated runtime, or the TAU-instrumented
+// decorator of the acquisition layer.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mpisim/mpi.hpp"
+
+namespace tir::apps {
+
+/// Every rank runs the same body (SPMD); rank-dependent behaviour comes
+/// from MpiApi::rank().
+using RankBody = std::function<sim::Co<void>(mpi::MpiApi&)>;
+
+struct AppDesc {
+  std::string name;
+  int nprocs = 1;
+  RankBody body;
+};
+
+}  // namespace tir::apps

@@ -1,0 +1,407 @@
+#include "apps/npb_extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tir::apps {
+
+namespace {
+
+bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EP — embarrassingly parallel.
+// ---------------------------------------------------------------------------
+
+double ep_pairs(NpbClass cls) {
+  // NPB 3.3: 2^m pairs with m = 24 (S), 25 (W), 28 (A), 30 (B), 32 (C),
+  // 36 (D), 40 (E).
+  switch (cls) {
+    case NpbClass::S: return std::pow(2.0, 24);
+    case NpbClass::W: return std::pow(2.0, 25);
+    case NpbClass::A: return std::pow(2.0, 28);
+    case NpbClass::B: return std::pow(2.0, 30);
+    case NpbClass::C: return std::pow(2.0, 32);
+    case NpbClass::D: return std::pow(2.0, 36);
+    case NpbClass::E: return std::pow(2.0, 40);
+  }
+  throw Error("unknown NPB class");
+}
+
+AppDesc make_ep_app(const EpConfig& config) {
+  if (config.nprocs < 1) throw Error("EP: nprocs must be positive");
+  AppDesc app;
+  app.name = "ep." + to_string(config.cls);
+  app.nprocs = config.nprocs;
+  app.body = [config](mpi::MpiApi& mpi) -> sim::Co<void> {
+    // ~45 flops per Gaussian pair (two logs, a sqrt, the rejection test).
+    const double flops_per_pair = 45.0;
+    const double my_pairs = ep_pairs(config.cls) / mpi.size();
+    co_await mpi.compute(my_pairs * flops_per_pair, config.efficiency);
+    // Three allreduces: sx, sy, and the 10-bin annulus counts.
+    co_await mpi.allreduce(8, 1);
+    co_await mpi.allreduce(8, 1);
+    co_await mpi.allreduce(80, 10);
+  };
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// FT — 3-D FFT.
+// ---------------------------------------------------------------------------
+
+void ft_grid(NpbClass cls, int& nx, int& ny, int& nz) {
+  switch (cls) {
+    case NpbClass::S: nx = 64; ny = 64; nz = 64; return;
+    case NpbClass::W: nx = 128; ny = 128; nz = 32; return;
+    case NpbClass::A: nx = 256; ny = 256; nz = 128; return;
+    case NpbClass::B: nx = 512; ny = 256; nz = 256; return;
+    case NpbClass::C: nx = 512; ny = 512; nz = 512; return;
+    case NpbClass::D: nx = 2048; ny = 1024; nz = 1024; return;
+    case NpbClass::E: nx = 4096; ny = 2048; nz = 2048; return;
+  }
+  throw Error("unknown NPB class");
+}
+
+int ft_iterations(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::S: return 6;
+    case NpbClass::W: return 6;
+    case NpbClass::A: return 6;
+    case NpbClass::B: return 20;
+    case NpbClass::C: return 20;
+    case NpbClass::D: return 25;
+    case NpbClass::E: return 25;
+  }
+  throw Error("unknown NPB class");
+}
+
+int FtConfig::iterations() const {
+  const int full = ft_iterations(cls);
+  return std::max(
+      1, static_cast<int>(std::llround(full * std::min(1.0, iteration_scale))));
+}
+
+AppDesc make_ft_app(const FtConfig& config) {
+  int nx, ny, nz;
+  ft_grid(config.cls, nx, ny, nz);
+  if (config.nprocs < 1 || nz % config.nprocs != 0)
+    throw Error("FT: nprocs must divide nz=" + std::to_string(nz));
+
+  AppDesc app;
+  app.name = "ft." + to_string(config.cls);
+  app.nprocs = config.nprocs;
+  app.body = [config, nx, ny, nz](mpi::MpiApi& mpi) -> sim::Co<void> {
+    const double points = static_cast<double>(nx) * ny * nz;
+    const double my_points = points / mpi.size();
+    // Complex double per point; the transpose redistributes the whole
+    // local volume: each rank sends my_points/size * 16 bytes to each peer.
+    const std::uint64_t a2a_bytes = static_cast<std::uint64_t>(
+        my_points / mpi.size() * 16.0);
+    // 1-D FFT cost 5 n log2 n; three passes per 3-D FFT.
+    const double fft_flops =
+        5.0 * my_points *
+        (std::log2(static_cast<double>(nx)) +
+         std::log2(static_cast<double>(ny)) +
+         std::log2(static_cast<double>(nz)));
+    const double evolve_flops = 6.0 * my_points;
+    const double checksum_flops = 2.0 * my_points;
+
+    // Initial setup: distribute the indexmap parameters and do one forward
+    // FFT of the initial state.
+    co_await mpi.bcast(64, 0);
+    co_await mpi.compute(fft_flops, config.efficiency);
+    co_await mpi.alltoall(a2a_bytes);
+
+    const int iters = config.iterations();
+    for (int it = 0; it < iters; ++it) {
+      co_await mpi.compute(evolve_flops, config.efficiency);
+      // Inverse 3-D FFT: two local passes, transpose, final pass.
+      co_await mpi.compute(fft_flops * 2.0 / 3.0, config.efficiency);
+      co_await mpi.alltoall(a2a_bytes);
+      co_await mpi.compute(fft_flops / 3.0, config.efficiency);
+      // Checksum: 1024 samples summed then reduced.
+      co_await mpi.compute(checksum_flops, config.efficiency);
+      co_await mpi.allreduce(16, 2);
+    }
+  };
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// CG — conjugate gradient.
+// ---------------------------------------------------------------------------
+
+int cg_order(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::S: return 1400;
+    case NpbClass::W: return 7000;
+    case NpbClass::A: return 14000;
+    case NpbClass::B: return 75000;
+    case NpbClass::C: return 150000;
+    case NpbClass::D: return 1500000;
+    case NpbClass::E: return 9000000;
+  }
+  throw Error("unknown NPB class");
+}
+
+int cg_iterations(NpbClass cls) {
+  // Outer iterations (the 25 inner CG steps run within each).
+  switch (cls) {
+    case NpbClass::S: return 15;
+    case NpbClass::W: return 15;
+    case NpbClass::A: return 15;
+    case NpbClass::B: return 75;
+    case NpbClass::C: return 75;
+    case NpbClass::D: return 100;
+    case NpbClass::E: return 100;
+  }
+  throw Error("unknown NPB class");
+}
+
+int CgConfig::iterations() const {
+  const int full = cg_iterations(cls);
+  return std::max(
+      1, static_cast<int>(std::llround(full * std::min(1.0, iteration_scale))));
+}
+
+namespace {
+
+// Average nonzeros per row after the NPB generator (nonzer parameter).
+int cg_nonzer(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::S: return 7;
+    case NpbClass::W: return 8;
+    case NpbClass::A: return 11;
+    case NpbClass::B: return 13;
+    case NpbClass::C: return 15;
+    case NpbClass::D: return 21;
+    case NpbClass::E: return 26;
+  }
+  throw Error("unknown NPB class");
+}
+
+}  // namespace
+
+AppDesc make_cg_app(const CgConfig& config) {
+  if (!is_power_of_two(config.nprocs))
+    throw Error("CG: nprocs must be a power of two");
+
+  AppDesc app;
+  app.name = "cg." + to_string(config.cls);
+  app.nprocs = config.nprocs;
+  app.body = [config](mpi::MpiApi& mpi) -> sim::Co<void> {
+    const int p = mpi.size();
+    // NPB CG lays ranks on a num_proc_rows x num_proc_cols grid with
+    // rows >= cols; transpose exchanges run within a row.
+    int log2p = 0;
+    while ((1 << (log2p + 1)) <= p) ++log2p;
+    const int ncols = 1 << (log2p / 2);
+    const int nrows = p / ncols;
+    const int row = mpi.rank() / ncols;
+    const int col = mpi.rank() % ncols;
+
+    const double n = cg_order(config.cls);
+    const double nnz_per_rank =
+        n * cg_nonzer(config.cls) * cg_nonzer(config.cls) / p;
+    const std::uint64_t vec_bytes =
+        static_cast<std::uint64_t>(n / nrows * 8.0);
+
+    // The transpose partner (NPB's exch_proc). For a square grid this is
+    // the plain coordinate swap; for nrows = k*ncols the grid is treated
+    // as k stacked square blocks and the swap happens within each block —
+    // an involution, so every exchange pairs up symmetrically.
+    const int half = row / ncols;
+    const int partner_row = col + half * ncols;
+    const int partner_col = row % ncols;
+    const int partner = partner_row * ncols + partner_col;
+
+    const int iters = config.iterations();
+    const int inner = 25;
+    for (int it = 0; it < iters; ++it) {
+      for (int step = 0; step < inner; ++step) {
+        // Sparse matvec: ~2 flops per nonzero.
+        co_await mpi.compute(2.0 * nnz_per_rank, config.efficiency);
+        // Row-wise reduce of partial results: log2(ncols) exchange pairs.
+        for (int hop = ncols / 2; hop >= 1; hop /= 2) {
+          const int peer = row * ncols + (col ^ hop);
+          auto req = mpi.isend(peer, vec_bytes, 30 + hop);
+          co_await mpi.recv(peer, vec_bytes, 30 + hop);
+          co_await mpi.wait(std::move(req));
+          co_await mpi.compute(n / nrows, config.efficiency);
+        }
+        // Transpose exchange for the next matvec.
+        if (partner != mpi.rank()) {
+          auto req = mpi.isend(partner, vec_bytes, 29);
+          co_await mpi.recv(partner, vec_bytes, 29);
+          co_await mpi.wait(std::move(req));
+        }
+        // Two dot products (rho, alpha denominators).
+        co_await mpi.compute(4.0 * n / nrows, config.efficiency);
+        co_await mpi.allreduce(8, 1);
+        co_await mpi.allreduce(8, 1);
+      }
+      // Residual norm at the end of the outer iteration.
+      co_await mpi.allreduce(8, 1);
+    }
+  };
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// MG — multigrid V-cycle.
+// ---------------------------------------------------------------------------
+
+int mg_grid(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::S: return 32;
+    case NpbClass::W: return 128;
+    case NpbClass::A: return 256;
+    case NpbClass::B: return 256;
+    case NpbClass::C: return 512;
+    case NpbClass::D: return 1024;
+    case NpbClass::E: return 2048;
+  }
+  throw Error("unknown NPB class");
+}
+
+int mg_iterations(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::S: return 4;
+    case NpbClass::W: return 4;
+    case NpbClass::A: return 4;
+    case NpbClass::B: return 20;
+    case NpbClass::C: return 20;
+    case NpbClass::D: return 50;
+    case NpbClass::E: return 50;
+  }
+  throw Error("unknown NPB class");
+}
+
+int MgConfig::iterations() const {
+  const int full = mg_iterations(cls);
+  return std::max(
+      1, static_cast<int>(std::llround(full * std::min(1.0, iteration_scale))));
+}
+
+namespace {
+
+// Near-cubic 3-D factorisation of a power-of-two process count.
+void mg_proc_grid(int p, int& px, int& py, int& pz) {
+  px = py = pz = 1;
+  int axis = 0;
+  while (p > 1) {
+    if (axis == 0) px *= 2;
+    else if (axis == 1) py *= 2;
+    else pz *= 2;
+    axis = (axis + 1) % 3;
+    p /= 2;
+  }
+}
+
+}  // namespace
+
+AppDesc make_mg_app(const MgConfig& config) {
+  if (!is_power_of_two(config.nprocs))
+    throw Error("MG: nprocs must be a power of two");
+  {
+    int px, py, pz;
+    mg_proc_grid(config.nprocs, px, py, pz);
+    const int n = mg_grid(config.cls);
+    if (px > n || py > n || pz > n)
+      throw Error("MG: class " + to_string(config.cls) +
+                  " is too small for " + std::to_string(config.nprocs) +
+                  " processes");
+  }
+
+  AppDesc app;
+  app.name = "mg." + to_string(config.cls);
+  app.nprocs = config.nprocs;
+  app.body = [config](mpi::MpiApi& mpi) -> sim::Co<void> {
+    const int n = mg_grid(config.cls);
+    int px, py, pz;
+    mg_proc_grid(mpi.size(), px, py, pz);
+    const int cx = mpi.rank() % px;
+    const int cy = (mpi.rank() / px) % py;
+    const int cz = mpi.rank() / (px * py);
+
+    // Neighbour in each direction (periodic, like NPB MG's comm3).
+    const auto neighbour = [&](int axis, int dir) {
+      int nx2 = cx, ny2 = cy, nz2 = cz;
+      if (axis == 0) nx2 = (cx + dir + px) % px;
+      if (axis == 1) ny2 = (cy + dir + py) % py;
+      if (axis == 2) nz2 = (cz + dir + pz) % pz;
+      return (nz2 * py + ny2) * px + nx2;
+    };
+
+    // One halo refresh at level size (lx, ly, lz): six face exchanges done
+    // axis by axis with nonblocking receives (comm3's structure).
+    const auto comm3 = [&](int lx, int ly, int lz) -> sim::Co<void> {
+      const std::uint64_t faces[3] = {
+          8ull * static_cast<unsigned>(ly) * static_cast<unsigned>(lz),
+          8ull * static_cast<unsigned>(lx) * static_cast<unsigned>(lz),
+          8ull * static_cast<unsigned>(lx) * static_cast<unsigned>(ly)};
+      for (int axis = 0; axis < 3; ++axis) {
+        const int minus = neighbour(axis, -1);
+        const int plus = neighbour(axis, +1);
+        if (minus == mpi.rank()) continue;  // only one rank along this axis
+        auto r1 = mpi.irecv(minus, faces[axis], 40 + axis);
+        auto r2 = mpi.irecv(plus, faces[axis], 40 + axis);
+        auto s1 = mpi.isend(plus, faces[axis], 40 + axis);
+        auto s2 = mpi.isend(minus, faces[axis], 40 + axis);
+        co_await mpi.wait(std::move(r1));
+        co_await mpi.wait(std::move(r2));
+        co_await mpi.wait(std::move(s1));
+        co_await mpi.wait(std::move(s2));
+      }
+    };
+
+    // Levels: finest local block down to 2^2 (or until a dimension hits 1).
+    const int lx0 = std::max(1, n / px);
+    const int ly0 = std::max(1, n / py);
+    const int lz0 = std::max(1, n / pz);
+    int levels = 1;
+    while ((lx0 >> levels) >= 2 && (ly0 >> levels) >= 2 &&
+           (lz0 >> levels) >= 2)
+      ++levels;
+
+    const auto level_points = [&](int level) {
+      return static_cast<double>(std::max(1, lx0 >> level)) *
+             std::max(1, ly0 >> level) * std::max(1, lz0 >> level);
+    };
+
+    co_await mpi.bcast(32, 0);
+    const int iters = config.iterations();
+    for (int it = 0; it < iters; ++it) {
+      // Residual on the finest grid (~21 flops/point) + halo.
+      co_await mpi.compute(21.0 * level_points(0), config.efficiency);
+      co_await comm3(lx0, ly0, lz0);
+      // Down cycle: restrict to each coarser level (rprj3, ~20 flops/pt of
+      // the coarse grid) with a halo refresh at that level.
+      for (int level = 1; level < levels; ++level) {
+        co_await mpi.compute(20.0 * level_points(level), config.efficiency);
+        co_await comm3(std::max(1, lx0 >> level), std::max(1, ly0 >> level),
+                       std::max(1, lz0 >> level));
+      }
+      // Bottom solve (psinv on the coarsest grid).
+      co_await mpi.compute(26.0 * level_points(levels - 1),
+                           config.efficiency);
+      // Up cycle: prolongate + smooth (interp ~16, psinv ~26 flops/pt).
+      for (int level = levels - 2; level >= 0; --level) {
+        co_await mpi.compute(42.0 * level_points(level), config.efficiency);
+        co_await comm3(std::max(1, lx0 >> level), std::max(1, ly0 >> level),
+                       std::max(1, lz0 >> level));
+      }
+      // Periodic residual norm (norm2u3).
+      co_await mpi.compute(3.0 * level_points(0), config.efficiency);
+      co_await mpi.allreduce(16, 2);
+    }
+  };
+  return app;
+}
+
+}  // namespace tir::apps

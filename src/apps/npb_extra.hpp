@@ -1,0 +1,68 @@
+// Additional NPB skeletons beyond LU: EP, FT, and CG.
+//
+// The paper evaluates on LU only, but positions the framework for MPI
+// applications in general ("regular applications represent a large part of
+// current MPI codes"). These skeletons reproduce the communication
+// structures and computation volumes of three more NPB kernels with very
+// different profiles:
+//
+//   EP — embarrassingly parallel: one long CPU burst, three tiny
+//        allreduces. The off-line approach's best case.
+//   FT — 3-D FFT: iterative evolve + FFT, dominated by a full-volume
+//        all-to-all transpose each iteration. Communication heavy.
+//   CG — conjugate gradient: sparse matrix-vector products with transpose
+//        exchanges along rows of a 2-D process grid plus dot-product
+//        reductions every inner iteration. Latency sensitive.
+#pragma once
+
+#include "apps/app.hpp"
+#include "apps/lu.hpp"  // NpbClass
+
+namespace tir::apps {
+
+struct EpConfig {
+  NpbClass cls = NpbClass::A;
+  int nprocs = 4;
+  double efficiency = 0.30;  ///< EP is register-friendly: high fraction
+};
+/// Total random pairs for the class (2^m in the NPB spec).
+double ep_pairs(NpbClass cls);
+AppDesc make_ep_app(const EpConfig& config);
+
+struct FtConfig {
+  NpbClass cls = NpbClass::A;
+  int nprocs = 4;  ///< must divide the grid's z dimension
+  double iteration_scale = 1.0;
+  double efficiency = 0.25;
+  int iterations() const;
+};
+/// Grid dimensions (nx, ny, nz) for the class.
+void ft_grid(NpbClass cls, int& nx, int& ny, int& nz);
+int ft_iterations(NpbClass cls);
+AppDesc make_ft_app(const FtConfig& config);
+
+struct MgConfig {
+  NpbClass cls = NpbClass::A;
+  int nprocs = 8;  ///< power of two; arranged as a near-cubic 3-D grid
+  double iteration_scale = 1.0;
+  double efficiency = 0.20;  ///< memory-bound stencil sweeps
+  int iterations() const;
+};
+/// Finest-grid dimension (the problem is grid^3) and iteration count.
+int mg_grid(NpbClass cls);
+int mg_iterations(NpbClass cls);
+AppDesc make_mg_app(const MgConfig& config);
+
+struct CgConfig {
+  NpbClass cls = NpbClass::A;
+  int nprocs = 4;  ///< power of two; arranged as a 2-D grid
+  double iteration_scale = 1.0;
+  double efficiency = 0.15;  ///< sparse codes run far from peak
+  int iterations() const;
+};
+/// Matrix order n for the class.
+int cg_order(NpbClass cls);
+int cg_iterations(NpbClass cls);
+AppDesc make_cg_app(const CgConfig& config);
+
+}  // namespace tir::apps

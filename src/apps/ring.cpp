@@ -1,0 +1,31 @@
+#include "apps/ring.hpp"
+
+#include "support/error.hpp"
+
+namespace tir::apps {
+
+AppDesc make_ring_app(const RingConfig& config) {
+  if (config.nprocs < 2) throw Error("ring app needs at least 2 processes");
+  AppDesc app;
+  app.name = "ring";
+  app.nprocs = config.nprocs;
+  app.body = [config](mpi::MpiApi& mpi) -> sim::Co<void> {
+    const int next = (mpi.rank() + 1) % mpi.size();
+    const int prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+    for (int round = 0; round < config.rounds; ++round) {
+      // Figure 1's code: rank 0 kicks the ring off, everyone else relays.
+      if (mpi.rank() == 0) {
+        co_await mpi.compute(config.flops);
+        co_await mpi.send(next, config.bytes);
+        co_await mpi.recv(prev, config.bytes);
+      } else {
+        co_await mpi.recv(prev, config.bytes);
+        co_await mpi.compute(config.flops);
+        co_await mpi.send(next, config.bytes);
+      }
+    }
+  };
+  return app;
+}
+
+}  // namespace tir::apps

@@ -1,0 +1,20 @@
+// The paper's Figure 1 workload: each process computes `flops` and passes
+// `bytes` around a ring, `rounds` times.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace tir::apps {
+
+struct RingConfig {
+  int nprocs = 4;
+  double flops = 1e6;
+  std::uint64_t bytes = 1000000;
+  int rounds = 1;
+};
+
+AppDesc make_ring_app(const RingConfig& config);
+
+}  // namespace tir::apps

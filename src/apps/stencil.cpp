@@ -1,0 +1,64 @@
+#include "apps/stencil.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tir::apps {
+
+namespace {
+
+// Nearly-square process grid: the largest divisor pair.
+std::pair<int, int> grid_shape(int nprocs) {
+  int best = 1;
+  for (int d = 1; d * d <= nprocs; ++d)
+    if (nprocs % d == 0) best = d;
+  return {best, nprocs / best};
+}
+
+}  // namespace
+
+AppDesc make_stencil_app(const StencilConfig& config) {
+  if (config.nprocs < 1) throw Error("stencil: nprocs must be positive");
+  if (config.grid < config.nprocs)
+    throw Error("stencil: grid too small for the process count");
+
+  AppDesc app;
+  app.name = "stencil2d";
+  app.nprocs = config.nprocs;
+  app.body = [config](mpi::MpiApi& mpi) -> sim::Co<void> {
+    const auto [py, px] = grid_shape(mpi.size());
+    const int col = mpi.rank() % px;
+    const int row = mpi.rank() / px;
+    const int nx = config.grid / px + (col < config.grid % px ? 1 : 0);
+    const int ny = config.grid / py + (row < config.grid % py ? 1 : 0);
+    const int west = col > 0 ? mpi.rank() - 1 : -1;
+    const int east = col < px - 1 ? mpi.rank() + 1 : -1;
+    const int north = row > 0 ? mpi.rank() - px : -1;
+    const int south = row < py - 1 ? mpi.rank() + px : -1;
+    const std::uint64_t row_bytes = 8ull * static_cast<unsigned>(nx);
+    const std::uint64_t col_bytes = 8ull * static_cast<unsigned>(ny);
+    const double tile_flops =
+        config.flops_per_point * static_cast<double>(nx) * ny;
+
+    for (int it = 0; it < config.iterations; ++it) {
+      std::vector<mpi::Request> reqs;
+      if (north >= 0) reqs.push_back(mpi.irecv(north, row_bytes, 1));
+      if (south >= 0) reqs.push_back(mpi.irecv(south, row_bytes, 1));
+      if (west >= 0) reqs.push_back(mpi.irecv(west, col_bytes, 1));
+      if (east >= 0) reqs.push_back(mpi.irecv(east, col_bytes, 1));
+      if (north >= 0) reqs.push_back(mpi.isend(north, row_bytes, 1));
+      if (south >= 0) reqs.push_back(mpi.isend(south, row_bytes, 1));
+      if (west >= 0) reqs.push_back(mpi.isend(west, col_bytes, 1));
+      if (east >= 0) reqs.push_back(mpi.isend(east, col_bytes, 1));
+      co_await mpi.waitall(std::move(reqs));
+      co_await mpi.compute(tile_flops, config.efficiency);
+      if ((it + 1) % config.norm_period == 0)
+        co_await mpi.allreduce(8, static_cast<double>(nx) * ny);
+    }
+  };
+  return app;
+}
+
+}  // namespace tir::apps

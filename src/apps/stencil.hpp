@@ -1,0 +1,24 @@
+// 2-D Jacobi stencil: the second domain application used by the examples.
+// Per iteration every rank exchanges halo rows/columns with its (up to 4)
+// neighbours through nonblocking receives, computes its tile, and every
+// `norm_period` iterations joins a residual allreduce.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace tir::apps {
+
+struct StencilConfig {
+  int nprocs = 4;
+  int grid = 1024;           ///< global grid is grid x grid doubles
+  int iterations = 100;
+  double flops_per_point = 6.0;
+  int norm_period = 10;
+  double efficiency = 0.35;  ///< achieved fraction of peak
+};
+
+AppDesc make_stencil_app(const StencilConfig& config);
+
+}  // namespace tir::apps

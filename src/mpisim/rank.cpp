@@ -1,0 +1,167 @@
+#include <algorithm>
+
+#include "mpisim/mpi.hpp"
+#include "support/error.hpp"
+
+namespace tir::mpi {
+
+using detail::RequestState;
+
+int Rank::size() const { return world_->size(); }
+
+sim::Engine& Rank::engine() const { return world_->engine(); }
+
+sim::Co<void> Rank::compute(double flops, double efficiency) {
+  auto exec = engine().exec_async(host_, flops, efficiency);
+  co_await engine().wait(exec);
+}
+
+namespace {
+
+bool matches(const RequestState& recv, int src, int tag) {
+  return (recv.src == kAnySource || recv.src == src) &&
+         (recv.tag == kAnyTag || recv.tag == tag);
+}
+
+}  // namespace
+
+void Rank::fill_match(RequestState& recv_state, const InMsg& message) {
+  recv_state.bytes = message.bytes;
+  recv_state.matched_src = message.src;
+  if (message.rendezvous) {
+    recv_state.rendezvous = true;
+    recv_state.peer_host = world_->rank(message.src).host();
+    recv_state.my_host = host_;
+    recv_state.control_latency =
+        engine().route_latency(recv_state.peer_host, host_);
+    recv_state.peer_gate = message.sender_gate;
+  } else {
+    recv_state.transfer = message.transfer;
+  }
+}
+
+void Rank::deliver(InMsg message) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    RequestState& state = **it;
+    if (matches(state, message.src, message.tag)) {
+      fill_match(state, message);
+      auto gate = state.gate;
+      posted_.erase(it);
+      gate->open();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(message));
+}
+
+Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
+  if (dst < 0 || dst >= size())
+    throw SimError("isend: invalid destination rank " + std::to_string(dst));
+  auto state = std::make_shared<RequestState>();
+  state->bytes = bytes;
+  state->tag = tag;
+
+  InMsg message;
+  message.src = rank_;
+  message.tag = tag;
+  message.bytes = bytes;
+
+  if (bytes <= world_->config().eager_threshold) {
+    state->kind = RequestState::Kind::send_eager;
+    state->transfer = engine().transfer_async(
+        host_, world_->rank(dst).host(), static_cast<double>(bytes));
+    state->sender_copy =
+        engine().injection_async(host_, static_cast<double>(bytes));
+    message.transfer = state->transfer;
+  } else {
+    state->kind = RequestState::Kind::send_rendezvous;
+    state->gate = engine().make_gate();
+    message.rendezvous = true;
+    message.sender_gate = state->gate;
+  }
+  world_->rank(dst).deliver(std::move(message));
+  return state;
+}
+
+Request Rank::irecv(int src, std::uint64_t bytes, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw SimError("irecv: invalid source rank " + std::to_string(src));
+  auto state = std::make_shared<RequestState>();
+  state->kind = RequestState::Kind::recv;
+  state->bytes = bytes;
+  state->src = src;
+  state->tag = tag;
+  state->my_host = host_;
+  state->gate = engine().make_gate();
+
+  const auto it = std::find_if(
+      unexpected_.begin(), unexpected_.end(), [&](const InMsg& m) {
+        return (src == kAnySource || src == m.src) &&
+               (tag == kAnyTag || tag == m.tag);
+      });
+  if (it != unexpected_.end()) {
+    fill_match(*state, *it);
+    unexpected_.erase(it);
+    state->gate->open();
+  } else {
+    posted_.push_back(state);
+  }
+  return state;
+}
+
+sim::Co<void> Rank::wait(Request request) {
+  if (!request) co_return;
+  RequestState& state = *request;
+  if (state.completed) co_return;
+  switch (state.kind) {
+    case RequestState::Kind::send_eager:
+      // The sender only waits for its local buffer copy; the payload
+      // streams to the receiver in the background.
+      co_await engine().wait(state.sender_copy);
+      break;
+    case RequestState::Kind::send_rendezvous:
+      co_await engine().wait(state.gate);
+      break;
+    case RequestState::Kind::recv: {
+      co_await engine().wait(state.gate);  // match
+      if (state.rendezvous) {
+        // Receiver drives the handshake: one control latency, then the
+        // payload, then release the sender.
+        if (state.control_latency > 0)
+          co_await engine().wait(
+              engine().timer_async(state.control_latency));
+        auto transfer = engine().transfer_async(
+            state.peer_host, state.my_host,
+            static_cast<double>(state.bytes));
+        co_await engine().wait(transfer);
+        state.peer_gate->open();
+      } else if (state.transfer) {
+        co_await engine().wait(state.transfer);
+      }
+      break;
+    }
+  }
+  state.completed = true;
+}
+
+sim::Co<void> Rank::waitall(std::vector<Request> requests) {
+  for (auto& request : requests) co_await wait(std::move(request));
+}
+
+sim::Co<void> Rank::send(int dst, std::uint64_t bytes, int tag) {
+  co_await wait(isend(dst, bytes, tag));
+}
+
+sim::Co<void> Rank::recv(int src, std::uint64_t bytes, int tag) {
+  co_await wait(irecv(src, bytes, tag));
+}
+
+int Rank::next_coll_tag() {
+  // All ranks execute the same sequence of collectives (an MPI correctness
+  // requirement), so per-rank counters stay aligned across the job.
+  const int tag = kCollectiveTagBase + (coll_tag_ & 0xFFFFF);
+  ++coll_tag_;
+  return tag;
+}
+
+}  // namespace tir::mpi

@@ -1,0 +1,139 @@
+#include "platform/cluster.hpp"
+
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+std::vector<HostId> build_cluster(Platform& platform, const ClusterSpec& spec,
+                                  JunctionId parent, double uplink_bandwidth,
+                                  double uplink_latency) {
+  if (spec.count <= 0) throw Error("build_cluster: count must be positive");
+  LinkId uplink = kNone;
+  if (parent != kNone) {
+    if (uplink_bandwidth <= 0)
+      throw Error("build_cluster: a child cluster needs an uplink bandwidth");
+    uplink = platform.add_link(spec.prefix + "uplink", uplink_bandwidth,
+                               uplink_latency);
+  }
+  const LinkId backbone =
+      platform.add_link(spec.prefix + "backbone", spec.backbone_bandwidth,
+                        spec.backbone_latency);
+  const JunctionId sw =
+      platform.add_junction(spec.prefix + "switch", parent, uplink, backbone);
+
+  std::vector<HostId> hosts;
+  hosts.reserve(static_cast<std::size_t>(spec.count));
+  for (int i = 0; i < spec.count; ++i) {
+    const std::string name = spec.prefix + std::to_string(i) + spec.suffix;
+    const LinkId nic =
+        platform.add_link(name + "_nic", spec.bandwidth, spec.latency);
+    const HostId h = platform.add_host(name, spec.power, sw, nic);
+    platform.set_loopback(h, spec.loopback_bandwidth, spec.loopback_latency);
+    hosts.push_back(h);
+  }
+  return hosts;
+}
+
+ClusterSpec bordereau_spec(int nodes) {
+  ClusterSpec spec;
+  spec.prefix = "bordereau-";
+  spec.suffix = ".bordeaux.grid5000.fr";
+  spec.count = nodes;
+  // The paper's Figure 5 instantiates the calibrated per-process rate as
+  // 1.17E9 flop/s; the NICs are 1 GbE, the switch is 10 GbE.
+  spec.power = 1.17e9;
+  spec.bandwidth = 1.25e8;
+  spec.latency = 16.67e-6;
+  spec.backbone_bandwidth = 1.25e9;
+  spec.backbone_latency = 16.67e-6;
+  return spec;
+}
+
+ClusterSpec bordereau_physical_spec(int nodes) {
+  ClusterSpec spec = bordereau_spec(nodes);
+  spec.power = kBordereauPeakFlops;
+  return spec;
+}
+
+std::vector<HostId> build_bordereau(Platform& platform, int nodes) {
+  return build_cluster(platform, bordereau_spec(nodes));
+}
+
+namespace {
+
+// Builds the gdx cabinet hierarchy under `parent` (kNone for standalone).
+std::vector<HostId> build_gdx_under(Platform& p, const GdxSpec& spec,
+                                    JunctionId parent, LinkId site_uplink) {
+  if (spec.nodes <= 0 || spec.cabinets <= 0)
+    throw Error("build_gdx: nodes and cabinets must be positive");
+  const LinkId top_bb = p.add_link("gdx-top-backbone",
+                                   spec.top_bandwidth * 10, spec.top_latency);
+  const JunctionId top =
+      p.add_junction("gdx-top-switch", parent, site_uplink, top_bb);
+
+  // Two cabinets share one intermediate switch (paper §6.1), so a message
+  // between distant cabinets crosses three switches.
+  const int pairs = (spec.cabinets + 1) / 2;
+  std::vector<JunctionId> cabinet_switches;
+  for (int pr = 0; pr < pairs; ++pr) {
+    const std::string base = "gdx-pairsw-" + std::to_string(pr);
+    const LinkId up =
+        p.add_link(base + "-uplink", spec.top_bandwidth, spec.top_latency);
+    const LinkId bb = p.add_link(base + "-backbone",
+                                 spec.cabinet_bandwidth * 4,
+                                 spec.cabinet_latency);
+    const JunctionId pair_sw = p.add_junction(base, top, up, bb);
+    for (int c = 0; c < 2 && pr * 2 + c < spec.cabinets; ++c) {
+      const int cab = pr * 2 + c;
+      const std::string cname = "gdx-cab-" + std::to_string(cab);
+      const LinkId cup = p.add_link(cname + "-uplink", spec.cabinet_bandwidth,
+                                    spec.cabinet_latency);
+      const LinkId cbb = p.add_link(cname + "-backbone",
+                                    spec.cabinet_bandwidth * 4,
+                                    spec.cabinet_latency);
+      cabinet_switches.push_back(p.add_junction(cname, pair_sw, cup, cbb));
+    }
+  }
+
+  std::vector<HostId> hosts;
+  hosts.reserve(static_cast<std::size_t>(spec.nodes));
+  for (int i = 0; i < spec.nodes; ++i) {
+    const auto cab = static_cast<std::size_t>(i % spec.cabinets);
+    const std::string name = "gdx-" + std::to_string(i) +
+                             ".orsay.grid5000.fr";
+    const LinkId nic = p.add_link(name + "_nic", spec.bandwidth, spec.latency);
+    const HostId h = p.add_host(name, spec.power, cabinet_switches[cab], nic);
+    p.set_loopback(h, 6e9, 1e-7);
+    hosts.push_back(h);
+  }
+  return hosts;
+}
+
+}  // namespace
+
+std::vector<HostId> build_gdx(Platform& platform, const GdxSpec& spec) {
+  return build_gdx_under(platform, spec, kNone, kNone);
+}
+
+TwoSites build_two_sites(Platform& platform, const ClusterSpec& bordereau,
+                         const GdxSpec& gdx, double wan_bandwidth,
+                         double wan_latency) {
+  const JunctionId wan_root =
+      platform.add_junction("grid5000-wan", kNone, kNone, kNone);
+  TwoSites out;
+  out.bordereau = build_cluster(platform, bordereau, wan_root, wan_bandwidth,
+                                wan_latency / 2);
+  const LinkId gdx_up = platform.add_link("gdx-wan-uplink", wan_bandwidth,
+                                          wan_latency / 2);
+  out.gdx = build_gdx_under(platform, gdx, wan_root, gdx_up);
+  return out;
+}
+
+TwoSites build_grid5000_two_sites(Platform& platform, int bordereau_nodes,
+                                  const GdxSpec& gdx, double wan_bandwidth,
+                                  double wan_latency) {
+  return build_two_sites(platform, bordereau_spec(bordereau_nodes), gdx,
+                         wan_bandwidth, wan_latency);
+}
+
+}  // namespace tir::plat

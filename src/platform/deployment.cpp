@@ -1,0 +1,93 @@
+#include "platform/deployment.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "platform/xml.hpp"
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+std::vector<HostId> Deployment::resolve(const Platform& platform) const {
+  std::vector<HostId> out;
+  out.reserve(processes.size());
+  for (const auto& p : processes) out.push_back(platform.host_by_name(p.host));
+  return out;
+}
+
+Deployment Deployment::block(const Platform& platform,
+                             const std::vector<HostId>& hosts, int nprocs) {
+  if (hosts.empty()) throw Error("Deployment::block: no hosts");
+  Deployment d;
+  const int per_host =
+      (nprocs + static_cast<int>(hosts.size()) - 1) /
+      static_cast<int>(hosts.size());
+  for (int i = 0; i < nprocs; ++i) {
+    const auto h = static_cast<std::size_t>(i / per_host);
+    d.processes.push_back(ProcessPlacement{
+        "p" + std::to_string(i), platform.host(hosts[h]).name, {}});
+  }
+  return d;
+}
+
+Deployment Deployment::round_robin(const Platform& platform,
+                                   const std::vector<HostId>& hosts,
+                                   int nprocs) {
+  if (hosts.empty()) throw Error("Deployment::round_robin: no hosts");
+  Deployment d;
+  for (int i = 0; i < nprocs; ++i) {
+    const auto h = static_cast<std::size_t>(i) % hosts.size();
+    d.processes.push_back(ProcessPlacement{
+        "p" + std::to_string(i), platform.host(hosts[h]).name, {}});
+  }
+  return d;
+}
+
+std::string Deployment::to_xml() const {
+  std::ostringstream os;
+  os << "<?xml version='1.0'?>\n"
+     << "<!DOCTYPE platform SYSTEM \"simgrid.dtd\">\n"
+     << "<platform version=\"3\">\n";
+  for (const auto& p : processes) {
+    os << "  <process host=\"" << p.host << "\" function=\"" << p.function
+       << "\"";
+    if (p.args.empty()) {
+      os << "/>\n";
+    } else {
+      os << ">\n";
+      for (const auto& a : p.args)
+        os << "    <argument value=\"" << a << "\"/>\n";
+      os << "  </process>\n";
+    }
+  }
+  os << "</platform>\n";
+  return os.str();
+}
+
+Deployment load_deployment_text(const std::string& xml_text) {
+  const auto root = xml::parse(xml_text);
+  if (root->name != "platform")
+    throw ParseError("deployment file: root element must be <platform>");
+  Deployment d;
+  for (const auto* proc : root->children_named("process")) {
+    ProcessPlacement p;
+    p.host = proc->attr("host");
+    p.function = proc->attr("function");
+    for (const auto* arg : proc->children_named("argument"))
+      p.args.push_back(arg->attr("value"));
+    d.processes.push_back(std::move(p));
+  }
+  if (d.processes.empty())
+    throw ParseError("deployment file: no <process> entries");
+  return d;
+}
+
+Deployment load_deployment_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_deployment_text(buffer.str());
+}
+
+}  // namespace tir::plat

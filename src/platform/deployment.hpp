@@ -1,0 +1,45 @@
+// Deployment description (paper Figure 6): which host runs each simulated
+// MPI process, plus optional per-process arguments (e.g. the name of its
+// time-independent trace file, as in §5 step 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace tir::plat {
+
+struct ProcessPlacement {
+  std::string function;          ///< "p0", "p1", ... (the process id)
+  std::string host;              ///< host name
+  std::vector<std::string> args; ///< <argument value="..."/> entries
+};
+
+struct Deployment {
+  std::vector<ProcessPlacement> processes;
+
+  /// Resolves each placement's host against the platform (in order).
+  /// Throws tir::Error on an unknown host.
+  std::vector<HostId> resolve(const Platform& platform) const;
+
+  /// Builds a block deployment: process i on hosts[i * hosts / n]... The
+  /// standard round-robin/block mappings used by the acquisition modes.
+  static Deployment block(const Platform& platform,
+                          const std::vector<HostId>& hosts, int nprocs);
+
+  /// Round-robin: process i on hosts[i % hosts.size()].
+  static Deployment round_robin(const Platform& platform,
+                                const std::vector<HostId>& hosts, int nprocs);
+
+  /// Serializes to the paper's Figure 6 XML shape.
+  std::string to_xml() const;
+};
+
+/// Parses a deployment XML document (text form).
+Deployment load_deployment_text(const std::string& xml_text);
+
+/// Parses a deployment file from disk.
+Deployment load_deployment_file(const std::string& path);
+
+}  // namespace tir::plat

@@ -1,0 +1,63 @@
+#include "platform/netmodel.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+PiecewiseNetModel::PiecewiseNetModel(std::uint64_t small_limit,
+                                     std::uint64_t large_limit,
+                                     std::array<NetSegment, 3> segments)
+    : small_limit_(small_limit),
+      large_limit_(large_limit),
+      segments_(segments) {
+  if (small_limit_ > large_limit_)
+    throw Error("PiecewiseNetModel: small_limit must be <= large_limit");
+  for (const auto& seg : segments_) {
+    if (seg.latency_factor <= 0 || seg.bandwidth_factor <= 0)
+      throw Error("PiecewiseNetModel: factors must be positive");
+  }
+}
+
+int PiecewiseNetModel::segment_index(std::uint64_t bytes) const {
+  if (bytes < small_limit_) return 0;
+  if (bytes < large_limit_) return 1;
+  return 2;
+}
+
+const NetSegment& PiecewiseNetModel::classify(std::uint64_t bytes) const {
+  return segments_[static_cast<std::size_t>(segment_index(bytes))];
+}
+
+std::string PiecewiseNetModel::describe() const {
+  std::ostringstream os;
+  os << "pwl{bounds=[" << small_limit_ << ", " << large_limit_ << "]";
+  for (int i = 0; i < 3; ++i) {
+    const auto& s = segments_[static_cast<std::size_t>(i)];
+    os << " seg" << i << "(lat*" << s.latency_factor << ", bw*"
+       << s.bandwidth_factor << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+PiecewiseNetModel PiecewiseNetModel::default_cluster_model() {
+  // Shaped after SimGrid's SMPI correction factors for TCP GigE clusters:
+  //  - < 1 KiB : single-frame messages, low protocol overhead.
+  //  - 1 KiB .. 64 KiB : eager protocol, per-message copy costs reduce the
+  //    achieved bandwidth noticeably.
+  //  - >= 64 KiB : rendezvous protocol, extra handshake latency, achieved
+  //    bandwidth close to (but below) nominal because of TCP overheads.
+  return PiecewiseNetModel(
+      1024, 64 * 1024,
+      {NetSegment{1.00, 1.10}, NetSegment{1.35, 0.75}, NetSegment{2.50, 0.92}});
+}
+
+PiecewiseNetModel PiecewiseNetModel::affine_model() {
+  return PiecewiseNetModel(1, 1,
+                           {NetSegment{1.0, 1.0}, NetSegment{1.0, 1.0},
+                            NetSegment{1.0, 1.0}});
+}
+
+}  // namespace tir::plat

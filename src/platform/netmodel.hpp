@@ -1,0 +1,62 @@
+// Piece-wise linear MPI communication model (paper §5).
+//
+// SimGrid's cluster-MPI model observes that communication time is not an
+// affine function of message size: messages under ~1 KiB fit in one IP frame
+// and achieve a higher data rate, and MPI implementations switch from
+// buffered (eager) to synchronous (rendezvous) mode above a threshold.
+// The model is therefore piece-wise linear over 3 segments, which gives
+// 8 parameters: 2 segment boundaries plus one latency-correction and one
+// bandwidth-correction factor per segment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tir::plat {
+
+/// Correction factors applied to a route's nominal latency/bandwidth.
+struct NetSegment {
+  double latency_factor = 1.0;    ///< effective latency = factor * nominal
+  double bandwidth_factor = 1.0;  ///< effective bandwidth = factor * nominal
+};
+
+/// The 3-segment piece-wise linear model. Segment 0 covers sizes in
+/// [0, small_limit), segment 1 covers [small_limit, large_limit), and
+/// segment 2 covers [large_limit, inf).
+class PiecewiseNetModel {
+ public:
+  PiecewiseNetModel() = default;
+  PiecewiseNetModel(std::uint64_t small_limit, std::uint64_t large_limit,
+                    std::array<NetSegment, 3> segments);
+
+  /// Returns the correction factors for a message of `bytes` bytes.
+  const NetSegment& classify(std::uint64_t bytes) const;
+
+  /// Segment index (0..2) for a message size; exposed for tests/reports.
+  int segment_index(std::uint64_t bytes) const;
+
+  std::uint64_t small_limit() const { return small_limit_; }
+  std::uint64_t large_limit() const { return large_limit_; }
+  const std::array<NetSegment, 3>& segments() const { return segments_; }
+
+  /// Human-readable dump of the 8 parameters.
+  std::string describe() const;
+
+  /// Default instantiation resembling the values SimGrid ships for TCP
+  /// GigaEthernet clusters: small messages see a higher achieved rate,
+  /// mid-size eager messages pay extra per-message cost, and rendezvous
+  /// messages approach nominal bandwidth with a protocol latency penalty.
+  static PiecewiseNetModel default_cluster_model();
+
+  /// A degenerate single-segment (pure affine) model; used by the
+  /// netmodel ablation benchmark.
+  static PiecewiseNetModel affine_model();
+
+ private:
+  std::uint64_t small_limit_ = 1024;           // 1 KiB: one IP frame
+  std::uint64_t large_limit_ = 64 * 1024;      // 64 KiB: eager->rendezvous
+  std::array<NetSegment, 3> segments_{};
+};
+
+}  // namespace tir::plat

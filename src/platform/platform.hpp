@@ -1,0 +1,106 @@
+// Platform description: hosts, links, and hierarchical routing.
+//
+// A Platform is a pure data model (no simulation state). Routing follows a
+// tree of junctions: every host hangs off a junction through an "uplink"
+// link; a junction may itself have an uplink towards its parent junction and
+// a "transit" link that is traversed whenever a route passes through it
+// (this models the cluster backbone of the paper's Figure 5: the route
+// between two nodes of a cluster is <uplink_a, backbone, uplink_b> — two
+// links and one switch, which is exactly the topology assumed by the
+// latency-calibration rule of §5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/netmodel.hpp"
+
+namespace tir::plat {
+
+using HostId = int;
+using LinkId = int;
+using JunctionId = int;
+
+constexpr int kNone = -1;
+
+struct HostDesc {
+  std::string name;
+  double power = 1e9;          ///< flop/s
+  JunctionId junction = kNone; ///< routing attachment point
+  LinkId uplink = kNone;       ///< NIC link towards the junction
+  LinkId loopback = kNone;     ///< used for host-local communications
+};
+
+struct LinkDesc {
+  std::string name;
+  double bandwidth = 1e9;  ///< bytes/s
+  double latency = 0.0;    ///< seconds
+};
+
+struct JunctionDesc {
+  std::string name;
+  JunctionId parent = kNone;
+  LinkId uplink = kNone;   ///< towards the parent junction
+  LinkId transit = kNone;  ///< traversed when a route passes through here
+  int depth = 0;           ///< root has depth 0
+};
+
+/// An end-to-end route: the traversed links and the summed nominal latency.
+struct Route {
+  std::vector<LinkId> links;
+  double latency = 0.0;
+  /// Minimum nominal bandwidth over the traversed links
+  /// (infinity for an empty route).
+  double min_bandwidth = 0.0;
+};
+
+class Platform {
+ public:
+  Platform();
+
+  // -- construction -------------------------------------------------------
+  JunctionId add_junction(std::string name, JunctionId parent = kNone,
+                          LinkId uplink = kNone, LinkId transit = kNone);
+  LinkId add_link(std::string name, double bandwidth, double latency);
+  HostId add_host(std::string name, double power, JunctionId junction,
+                  LinkId uplink);
+  /// Installs a loopback link on a host (used for same-host messages).
+  void set_loopback(HostId host, double bandwidth, double latency);
+  void set_net_model(PiecewiseNetModel model) { net_model_ = model; }
+
+  /// Registers an explicit route between two hosts (both directions),
+  /// overriding tree routing for the pair — the "Full" routing of
+  /// SimGrid-style <route src=... dst=...> platform files. Once any
+  /// explicit route exists, missing pairs are an error rather than falling
+  /// back to the tree.
+  void add_explicit_route(HostId src, HostId dst, std::vector<LinkId> links);
+
+  // -- queries -------------------------------------------------------------
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const HostDesc& host(HostId id) const;
+  const LinkDesc& link(LinkId id) const;
+  const PiecewiseNetModel& net_model() const { return net_model_; }
+
+  /// Looks a host up by name; throws tir::Error when absent.
+  HostId host_by_name(const std::string& name) const;
+  /// Returns std::nullopt when absent.
+  std::optional<HostId> find_host(const std::string& name) const;
+
+  /// Computes the route between two hosts. src == dst yields the loopback
+  /// link (or an empty zero-latency route when no loopback is configured).
+  Route route(HostId src, HostId dst) const;
+
+ private:
+  std::vector<HostDesc> hosts_;
+  std::vector<LinkDesc> links_;
+  std::vector<JunctionDesc> junctions_;
+  std::unordered_map<std::string, HostId> host_names_;
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> explicit_routes_;
+  PiecewiseNetModel net_model_ = PiecewiseNetModel::default_cluster_model();
+};
+
+}  // namespace tir::plat

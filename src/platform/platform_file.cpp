@@ -1,0 +1,190 @@
+#include "platform/platform_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "platform/cluster.hpp"
+#include "platform/xml.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace tir::plat {
+
+namespace {
+
+// "0-3,8,10-11" -> count of hosts (we only need the cardinality; hosts are
+// numbered densely in creation order but keep their radical index in the
+// name).
+std::vector<int> parse_radical(const std::string& radical) {
+  std::vector<int> ids;
+  for (const auto part : str::split(radical, ',')) {
+    const auto range = str::split(str::trim(part), '-');
+    if (range.size() == 1) {
+      ids.push_back(static_cast<int>(str::to_int(range[0])));
+    } else if (range.size() == 2) {
+      const int lo = static_cast<int>(str::to_int(range[0]));
+      const int hi = static_cast<int>(str::to_int(range[1]));
+      if (hi < lo) throw ParseError("radical range '" + std::string(part) +
+                                    "' is decreasing");
+      for (int i = lo; i <= hi; ++i) ids.push_back(i);
+    } else {
+      throw ParseError("malformed radical part '" + std::string(part) + "'");
+    }
+  }
+  if (ids.empty()) throw ParseError("empty radical '" + radical + "'");
+  return ids;
+}
+
+void build_cluster_element(Platform& platform, const xml::Element& cluster,
+                           JunctionId parent, double uplink_bw,
+                           double uplink_lat) {
+  const std::string prefix = cluster.attr("prefix");
+  const std::string suffix = cluster.attr_or("suffix", "");
+  const std::vector<int> ids = parse_radical(cluster.attr("radical"));
+  const double power = units::parse_value(cluster.attr("power"));
+  const double bw = units::parse_value(cluster.attr("bw"));
+  const double lat = units::parse_duration(cluster.attr("lat"));
+  const double bb_bw =
+      units::parse_value(cluster.attr_or("bb_bw", cluster.attr("bw")));
+  const double bb_lat =
+      units::parse_duration(cluster.attr_or("bb_lat", cluster.attr("lat")));
+
+  LinkId uplink = kNone;
+  if (parent != kNone)
+    uplink = platform.add_link(prefix + "uplink", uplink_bw, uplink_lat);
+  const LinkId backbone =
+      platform.add_link(prefix + "backbone", bb_bw, bb_lat);
+  const JunctionId sw =
+      platform.add_junction(prefix + "switch", parent, uplink, backbone);
+
+  for (const int i : ids) {
+    const std::string name = prefix + std::to_string(i) + suffix;
+    const LinkId nic = platform.add_link(name + "_nic", bw, lat);
+    const HostId h = platform.add_host(name, power, sw, nic);
+    platform.set_loopback(h, 6e9, 1e-7);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Explicit <host>/<link>/<route> platforms (SimGrid's routing="Full").
+void build_explicit_elements(Platform& platform, const xml::Element& as) {
+  const JunctionId junction =
+      platform.add_junction(as.attr_or("id", "AS") + "-root");
+  std::unordered_map<std::string, LinkId> links;
+  for (const auto* link : as.children_named("link")) {
+    const std::string id = link->attr("id");
+    const double bw =
+        units::parse_value(link->attr_or("bandwidth", link->attr_or("bw", "")));
+    const double lat = units::parse_duration(
+        link->attr_or("latency", link->attr_or("lat", "0")));
+    if (!links.emplace(id, platform.add_link(id, bw, lat)).second)
+      throw ParseError("platform file: duplicate link id '" + id + "'");
+  }
+  for (const auto* host : as.children_named("host")) {
+    const HostId h =
+        platform.add_host(host->attr("id"),
+                          units::parse_value(host->attr_or(
+                              "power", host->attr_or("speed", "1E9"))),
+                          junction, kNone);
+    platform.set_loopback(h, 6e9, 1e-7);
+  }
+  for (const auto* route : as.children_named("route")) {
+    std::vector<LinkId> path;
+    for (const auto* ctn : route->children_named("link_ctn")) {
+      const auto it = links.find(ctn->attr("id"));
+      if (it == links.end())
+        throw ParseError("platform file: route references unknown link '" +
+                         ctn->attr("id") + "'");
+      path.push_back(it->second);
+    }
+    if (path.empty())
+      throw ParseError("platform file: <route> holds no <link_ctn>");
+    platform.add_explicit_route(platform.host_by_name(route->attr("src")),
+                                platform.host_by_name(route->attr("dst")),
+                                std::move(path));
+  }
+}
+
+}  // namespace
+
+Platform load_platform_text(const std::string& xml_text) {
+  const auto root = xml::parse(xml_text);
+  if (root->name != "platform")
+    throw ParseError("platform file: root element must be <platform>");
+
+  Platform platform;
+  const auto build_as = [&](const xml::Element& as) {
+    const auto clusters = as.children_named("cluster");
+    if (clusters.empty()) {
+      // No clusters: expect explicit <host>/<link>/<route> elements.
+      if (as.children_named("host").empty())
+        throw ParseError("platform file: <AS> holds no <cluster> or <host>");
+      build_explicit_elements(platform, as);
+      return;
+    }
+    if (clusters.size() == 1) {
+      build_cluster_element(platform, *clusters[0], kNone, 0, 0);
+      return;
+    }
+    // Several clusters: join them through a WAN junction. The optional
+    // <backbone> child provides the access-link characteristics.
+    double wan_bw = 1.25e9;
+    double wan_lat = 5e-3;
+    if (const auto* bb = as.first_child("backbone")) {
+      wan_bw = units::parse_value(bb->attr("bw"));
+      wan_lat = units::parse_duration(bb->attr("lat"));
+    }
+    const JunctionId wan =
+        platform.add_junction(as.attr_or("id", "AS") + "-wan", kNone, kNone,
+                              kNone);
+    for (const auto* c : clusters)
+      build_cluster_element(platform, *c, wan, wan_bw, wan_lat / 2);
+  };
+
+  const auto as_list = root->children_named("AS");
+  if (as_list.empty()) {
+    // Tolerate clusters directly under <platform>.
+    if (root->children_named("cluster").empty())
+      throw ParseError("platform file: no <AS> or <cluster> found");
+    build_cluster_element(platform, *root->children_named("cluster")[0],
+                          kNone, 0, 0);
+    return platform;
+  }
+  if (as_list.size() != 1)
+    throw ParseError("platform file: exactly one top-level <AS> is supported");
+  build_as(*as_list[0]);
+  return platform;
+}
+
+Platform load_platform_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_platform_text(buffer.str());
+}
+
+std::string cluster_to_xml(const ClusterSpec& spec, const std::string& as_id) {
+  std::ostringstream os;
+  os << "<?xml version='1.0'?>\n"
+     << "<!DOCTYPE platform SYSTEM \"simgrid.dtd\">\n"
+     << "<platform version=\"3\">\n"
+     << "  <AS id=\"" << as_id << "\" routing=\"Full\">\n"
+     << "    <cluster id=\"AS_" << spec.prefix << "cluster\""
+     << " prefix=\"" << spec.prefix << "\" suffix=\"" << spec.suffix << "\""
+     << " radical=\"0-" << spec.count - 1 << "\""
+     << " power=\"" << spec.power << "\""
+     << " bw=\"" << spec.bandwidth << "\" lat=\"" << spec.latency << "\""
+     << " bb_bw=\"" << spec.backbone_bandwidth << "\" bb_lat=\""
+     << spec.backbone_latency << "\"/>\n"
+     << "  </AS>\n"
+     << "</platform>\n";
+  return os.str();
+}
+
+}  // namespace tir::plat

@@ -1,0 +1,35 @@
+// SimGrid-style platform file loader (paper Figure 5).
+//
+// Supported grammar (a pragmatic subset of the simgrid.dtd version 3):
+//
+//   <platform version="3">
+//     <AS id="..." routing="Full">
+//       <cluster id="..." prefix="..." suffix="..." radical="0-3"
+//                power="1.17E9" bw="1.25E8" lat="16.67E-6"
+//                bb_bw="1.25E9" bb_lat="16.67E-6"/>
+//       ... more clusters; when several appear they are joined by an
+//       optional <backbone bw=... lat=.../> WAN element ...
+//     </AS>
+//   </platform>
+//
+// `radical` accepts "lo-hi" and comma-separated mixes like "0-3,8,10-11".
+#pragma once
+
+#include <string>
+
+#include "platform/cluster.hpp"
+#include "platform/platform.hpp"
+
+namespace tir::plat {
+
+/// Parses a platform XML document (text form).
+Platform load_platform_text(const std::string& xml_text);
+
+/// Parses a platform file from disk.
+Platform load_platform_file(const std::string& path);
+
+/// Serializes a one-cluster platform spec into the paper's Figure 5 XML
+/// shape (used by examples and round-trip tests).
+std::string cluster_to_xml(const ClusterSpec& spec, const std::string& as_id);
+
+}  // namespace tir::plat

@@ -1,0 +1,42 @@
+// Minimal XML parser — just enough for SimGrid-style platform and
+// deployment files (Figures 5 and 6 of the paper).
+//
+// Supported: elements, attributes (single or double quoted), self-closing
+// tags, comments, XML declaration, and DOCTYPE lines. Not supported (and not
+// needed): namespaces, CDATA, entities beyond &lt; &gt; &amp; &quot; &apos;.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tir::xml {
+
+struct Element {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;  ///< concatenated character data inside the element
+
+  /// Returns the attribute value; throws tir::ParseError when absent.
+  const std::string& attr(const std::string& key) const;
+  /// Returns the attribute value or `fallback` when absent.
+  std::string attr_or(const std::string& key, std::string fallback) const;
+  bool has_attr(const std::string& key) const;
+
+  /// All direct children with the given element name.
+  std::vector<const Element*> children_named(const std::string& name) const;
+  /// First direct child with the name, or nullptr.
+  const Element* first_child(const std::string& name) const;
+};
+
+/// Parses a whole document and returns its root element.
+/// Throws tir::ParseError on malformed input.
+std::unique_ptr<Element> parse(std::string_view text);
+
+/// Reads a file and parses it. Throws tir::IoError / tir::ParseError.
+std::unique_ptr<Element> parse_file(const std::string& path);
+
+}  // namespace tir::xml

@@ -1,0 +1,101 @@
+#include "replay/calibration.hpp"
+
+#include <set>
+
+#include "acquisition/acquisition.hpp"
+#include "support/error.hpp"
+#include "tau/tau_reader.hpp"
+#include "tau/tau_writer.hpp"
+
+namespace tir::replay {
+
+double process_flop_rate(const std::filesystem::path& trc,
+                         const std::filesystem::path& edf,
+                         double min_burst_us) {
+  // Each instrumented application block is bracketed by EnterState /
+  // LeaveState with FP_OPS triggers at both ends: the counter delta is the
+  // burst's flops and the timestamp delta its duration. MPI states are
+  // skipped — their inner counter deltas (reduce combines, buffer copies)
+  // mostly measure communication wall time, not compute speed.
+  struct State {
+    int fp_ops_event = -1;
+    std::set<int> app_states;
+    bool in_app_state = false;
+    bool entry_seen = false;
+    double entry_counter = 0.0;
+    std::uint64_t enter_us = 0;
+    double exit_counter = 0.0;
+    double weighted_rate_sum = 0.0;  // sum(rate_i * flops_i)
+    double weight_sum = 0.0;         // sum(flops_i)
+  } state;
+
+  tau::Callbacks cb;
+  cb.def_state = [&](const tau::EventDef& def) {
+    if (def.name == "PAPI_FP_OPS") state.fp_ops_event = def.id;
+    if (def.kind == tau::EventKind::entry_exit && def.group != "MPI" &&
+        def.name != "APPLICATION_EXIT")
+      state.app_states.insert(def.id);
+  };
+  cb.enter_state = [&](int, int, std::uint64_t time_us, int event) {
+    state.in_app_state = state.app_states.count(event) != 0;
+    state.entry_seen = false;
+    state.enter_us = time_us;
+  };
+  cb.leave_state = [&](int, int, std::uint64_t time_us, int) {
+    if (state.in_app_state && state.entry_seen) {
+      const double flops = state.exit_counter - state.entry_counter;
+      const double duration_us =
+          static_cast<double>(time_us - state.enter_us);
+      if (flops > 0 && duration_us >= min_burst_us) {
+        const double rate = flops / (duration_us * 1e-6);
+        state.weighted_rate_sum += rate * flops;
+        state.weight_sum += flops;
+      }
+    }
+    state.in_app_state = false;
+  };
+  cb.event_trigger = [&](int, int, std::uint64_t, int event,
+                         std::int64_t value) {
+    if (event != state.fp_ops_event || !state.in_app_state) return;
+    if (!state.entry_seen) {
+      state.entry_seen = true;
+      state.entry_counter = static_cast<double>(value);
+    } else {
+      state.exit_counter = static_cast<double>(value);
+    }
+  };
+  tau::process_trace(trc, edf, cb);
+  if (state.weight_sum <= 0)
+    throw SimError("calibration: no measurable CPU burst in " + trc.string());
+  return state.weighted_rate_sum / state.weight_sum;
+}
+
+FlopCalibration calibrate_flop_rate(const CalibrationSpec& spec) {
+  if (spec.repetitions < 1)
+    throw Error("calibration: needs at least one repetition");
+  FlopCalibration result;
+  for (int run = 0; run < spec.repetitions; ++run) {
+    acq::AcquisitionSpec acq_spec;
+    acq_spec.app = spec.small_instance;
+    acq_spec.workdir = spec.workdir / ("run" + std::to_string(run));
+    acq_spec.instrument = spec.instrument;
+    acq_spec.instrument.seed = spec.instrument.seed + 1000u * run;
+    acq_spec.run_uninstrumented_baseline = false;
+    acq::run_acquisition(acq_spec);
+
+    double rate_sum = 0.0;
+    for (int p = 0; p < spec.small_instance.nprocs; ++p) {
+      const auto tau_dir = acq_spec.workdir / "tau";
+      rate_sum += process_flop_rate(tau_dir / tau::trc_file_name(p),
+                                    tau_dir / tau::edf_file_name(p),
+                                    spec.min_burst_us);
+    }
+    result.per_run.push_back(rate_sum / spec.small_instance.nprocs);
+  }
+  double total = 0.0;
+  for (const double rate : result.per_run) total += rate;
+  result.flop_rate = total / static_cast<double>(result.per_run.size());
+  return result;
+}
+
+}  // namespace tir::replay

@@ -1,0 +1,47 @@
+// Simulation-framework calibration (paper §5).
+//
+// Flop rate: "A small instrumented instance of the target application is
+// run on the platform to describe. This allows us to determine the number
+// of flops of each event as long as the time spent to compute them. Then we
+// can determine a flop rate of each single action, compute a weighted
+// average on each process, and get an average flop rate for all the process
+// set. Finally we repeat this procedure five times and compute an average
+// over these five runs."
+//
+// The measurement comes straight from the TAU trace of the instrumented
+// run: a CPU burst's flops is the PAPI_FP_OPS counter delta and its
+// duration is the timestamp delta between the surrounding MPI calls.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "acquisition/instrumented.hpp"
+#include "apps/app.hpp"
+
+namespace tir::replay {
+
+struct FlopCalibration {
+  double flop_rate = 0.0;        ///< final averaged rate (flop/s)
+  std::vector<double> per_run;   ///< one weighted average per repetition
+};
+
+struct CalibrationSpec {
+  apps::AppDesc small_instance;  ///< e.g. LU class W on a few processes
+  int repetitions = 5;           ///< the paper's "five times"
+  std::filesystem::path workdir;
+  acq::InstrumentOptions instrument;
+  double min_burst_us = 1.0;     ///< ignore bursts too short to time
+};
+
+/// Runs the instrumented small instance on the bordereau physical platform
+/// (Regular mode) `repetitions` times and applies the §5 averaging.
+FlopCalibration calibrate_flop_rate(const CalibrationSpec& spec);
+
+/// Flops-weighted average rate of the CPU bursts in one process's TAU
+/// trace (exposed for tests).
+double process_flop_rate(const std::filesystem::path& trc,
+                         const std::filesystem::path& edf,
+                         double min_burst_us = 1.0);
+
+}  // namespace tir::replay

@@ -1,0 +1,122 @@
+#include "replay/timed_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace tir::replay {
+
+void write_timed_trace(const std::vector<TimedAction>& rows,
+                       const std::filesystem::path& file) {
+  std::ofstream out(file);
+  if (!out) throw IoError("cannot create timed trace '" + file.string() + "'");
+  out << "# pid start end action\n";
+  char buffer[64];
+  for (const auto& row : rows) {
+    std::snprintf(buffer, sizeof(buffer), "%.9f %.9f", row.start, row.end);
+    out << row.pid << ' ' << buffer << ' ' << trace::to_line(row.action)
+        << '\n';
+  }
+}
+
+std::vector<TimedAction> read_timed_trace(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw IoError("cannot open timed trace '" + file.string() + "'");
+  std::vector<TimedAction> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = str::split_ws(trimmed);
+    if (fields.size() < 5)
+      throw ParseError(file.string() + ":" + std::to_string(line_no) +
+                       ": malformed timed-trace row");
+    TimedAction row;
+    row.pid = static_cast<int>(str::to_int(fields[0]));
+    row.start = str::to_double(fields[1]);
+    row.end = str::to_double(fields[2]);
+    // Remainder of the line is the original action.
+    std::string action_text;
+    for (std::size_t i = 3; i < fields.size(); ++i) {
+      if (!action_text.empty()) action_text += ' ';
+      action_text += std::string(fields[i]);
+    }
+    row.action = trace::parse_line(action_text);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Profile Profile::from_timed_trace(const std::vector<TimedAction>& rows) {
+  Profile profile;
+  for (const auto& row : rows) {
+    if (row.pid >= static_cast<int>(profile.per_process_.size()))
+      profile.per_process_.resize(static_cast<std::size_t>(row.pid) + 1);
+    auto& entry = profile.per_process_[static_cast<std::size_t>(row.pid)]
+        [std::string(trace::action_keyword(row.action.type))];
+    ++entry.count;
+    entry.total_time += row.end - row.start;
+  }
+  return profile;
+}
+
+ProfileEntry Profile::entry(int pid, const std::string& keyword) const {
+  if (pid < 0 || pid >= nprocs()) return {};
+  const auto& map = per_process_[static_cast<std::size_t>(pid)];
+  const auto it = map.find(keyword);
+  return it == map.end() ? ProfileEntry{} : it->second;
+}
+
+ProfileEntry Profile::total(const std::string& keyword) const {
+  ProfileEntry total;
+  for (const auto& map : per_process_) {
+    const auto it = map.find(keyword);
+    if (it != map.end()) {
+      total.count += it->second.count;
+      total.total_time += it->second.total_time;
+    }
+  }
+  return total;
+}
+
+double Profile::process_time(int pid) const {
+  if (pid < 0 || pid >= nprocs()) return 0.0;
+  double total = 0.0;
+  for (const auto& [keyword, entry] :
+       per_process_[static_cast<std::size_t>(pid)])
+    total += entry.total_time;
+  return total;
+}
+
+std::string Profile::render() const {
+  // Collect every keyword seen.
+  std::map<std::string, ProfileEntry> totals;
+  for (const auto& map : per_process_)
+    for (const auto& [keyword, entry] : map) {
+      totals[keyword].count += entry.count;
+      totals[keyword].total_time += entry.total_time;
+    }
+  double grand_total = 0.0;
+  for (const auto& [keyword, entry] : totals) grand_total += entry.total_time;
+
+  std::ostringstream os;
+  os << "action       count        total time   share\n";
+  for (const auto& [keyword, entry] : totals) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-12s %-12llu %-12s %5.1f%%\n",
+                  keyword.c_str(),
+                  static_cast<unsigned long long>(entry.count),
+                  units::format_duration(entry.total_time).c_str(),
+                  grand_total > 0 ? 100.0 * entry.total_time / grand_total
+                                  : 0.0);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace tir::replay

@@ -1,0 +1,5 @@
+// Out-of-line definitions for activities live in engine.cpp (they need the
+// Engine type); this translation unit only anchors the vtable.
+#include "simkern/activity.hpp"
+
+namespace tir::sim {}  // namespace tir::sim

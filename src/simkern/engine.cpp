@@ -1,0 +1,375 @@
+#include "simkern/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace tir::sim {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}
+
+void Task::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<Task::promise_type> h) noexcept {
+  Process* process = h.promise().process;
+  if (process && process->engine_) process->engine_->on_process_exit(*process);
+}
+
+void Gate::open() {
+  if (done()) return;
+  if (engine_ == nullptr) return;  // detached gate: nothing to notify
+  engine_->complete(*this);
+}
+
+Engine::Engine(const plat::Platform& platform, EngineConfig config)
+    : platform_(platform), config_(config) {
+  link_res_.reserve(platform.link_count());
+  for (std::size_t l = 0; l < platform.link_count(); ++l)
+    link_res_.push_back(
+        net_lmm_.add_resource(platform.link(static_cast<int>(l)).bandwidth));
+  host_execs_.resize(platform.host_count());
+}
+
+Engine::~Engine() {
+  // Destroy remaining coroutine frames (reverse creation order). Frames
+  // suspended at final_suspend or at any await point are safe to destroy.
+  for (auto it = processes_.rbegin(); it != processes_.rend(); ++it) {
+    if ((*it)->coro_) {
+      (*it)->coro_.destroy();
+      (*it)->coro_ = {};
+    }
+  }
+}
+
+Process& Engine::spawn(std::string name, int host, ProcessBody body) {
+  if (host < 0 || static_cast<std::size_t>(host) >= platform_.host_count())
+    throw SimError("spawn: unknown host id " + std::to_string(host));
+  auto process = std::make_unique<Process>();
+  process->id_ = static_cast<int>(processes_.size());
+  process->host_ = host;
+  process->name_ = std::move(name);
+  process->engine_ = this;
+  process->body_ = std::move(body);
+  Process& ref = *process;
+  processes_.push_back(std::move(process));
+
+  Task task = ref.body_(ref);
+  ref.coro_ = task.release();
+  ref.coro_.promise().process = &ref;
+  ready_.push_back(ref.coro_);
+  ++live_processes_;
+  return ref;
+}
+
+void Engine::on_process_exit(Process& process) {
+  process.finished_ = true;
+  --live_processes_;
+  if (process.coro_.promise().error && !first_error_)
+    first_error_ = process.coro_.promise().error;
+}
+
+// ---------------------------------------------------------------------------
+// Fluid bookkeeping.
+// ---------------------------------------------------------------------------
+
+void Engine::catch_up(FluidState& fluid) {
+  if (fluid.rate > 0 && now_ > fluid.last_update)
+    fluid.remaining =
+        std::max(0.0, fluid.remaining - fluid.rate * (now_ - fluid.last_update));
+  fluid.last_update = now_;
+}
+
+void Engine::set_rate(const ActivityPtr& activity, FluidState& fluid,
+                      double rate) {
+  catch_up(fluid);
+  fluid.rate = rate;
+  ++fluid.generation;
+  if (rate > 0) {
+    fluid.finish_est = now_ + fluid.remaining / rate;
+    finish_heap_.push(FinishItem{fluid.finish_est, seq_++, activity, &fluid,
+                                 fluid.generation});
+  } else {
+    fluid.finish_est = kInf;  // starved: no completion until a rate change
+  }
+}
+
+void Engine::reschedule_host(int host) {
+  auto& execs = host_execs_[static_cast<std::size_t>(host)];
+  if (execs.empty()) return;
+  const double rate =
+      platform_.host(host).power / static_cast<double>(execs.size());
+  for (const auto& exec : execs) {
+    if (exec->fluid.rate != rate) set_rate(exec, exec->fluid, rate);
+  }
+}
+
+void Engine::resolve_network() {
+  if (!net_lmm_.dirty()) return;
+  net_lmm_.solve();
+  ++stats_.solver_calls;
+  for (const auto& transfer : net_flows_) {
+    const double rate = net_lmm_.rate(transfer->fluid.var);
+    const double old = transfer->fluid.rate;
+    // Requeue only on a meaningful change to keep the heap lean.
+    if (rate != old &&
+        (old <= 0 || std::abs(rate - old) > 1e-12 * std::max(rate, old)))
+      set_rate(transfer, transfer->fluid, rate);
+  }
+}
+
+std::shared_ptr<Exec> Engine::exec_async(int host, double flops,
+                                         double efficiency) {
+  if (host < 0 || static_cast<std::size_t>(host) >= platform_.host_count())
+    throw SimError("exec_async: unknown host id " + std::to_string(host));
+  if (efficiency <= 0) throw SimError("exec_async: efficiency must be > 0");
+  auto exec = std::make_shared<Exec>();
+  exec->host = host;
+  exec->flops = flops;
+  ++stats_.activities;
+  if (flops <= 0) {
+    complete(*exec);
+    return exec;
+  }
+  exec->fluid.remaining = flops / efficiency;
+  exec->fluid.last_update = now_;
+  auto& execs = host_execs_[static_cast<std::size_t>(host)];
+  exec->fluid.index = execs.size();
+  execs.push_back(exec);
+  reschedule_host(host);
+  return exec;
+}
+
+const Engine::CachedRoute& Engine::cached_route(int src_host, int dst_host) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host))
+       << 32) |
+      static_cast<std::uint32_t>(dst_host);
+  auto it = route_cache_.find(key);
+  if (it == route_cache_.end()) {
+    const plat::Route route = platform_.route(src_host, dst_host);
+    CachedRoute cached;
+    cached.latency = route.latency;
+    cached.resources.reserve(route.links.size());
+    for (const auto link : route.links)
+      cached.resources.push_back(link_res_[static_cast<std::size_t>(link)]);
+    it = route_cache_.emplace(key, std::move(cached)).first;
+  }
+  return it->second;
+}
+
+double Engine::route_latency(int src_host, int dst_host) {
+  return cached_route(src_host, dst_host).latency;
+}
+
+std::shared_ptr<Transfer> Engine::transfer_async(int src_host, int dst_host,
+                                                 double bytes) {
+  auto transfer = std::make_shared<Transfer>();
+  transfer->src_host = src_host;
+  transfer->dst_host = dst_host;
+  transfer->bytes = bytes;
+  ++stats_.activities;
+
+  const CachedRoute& route = cached_route(src_host, dst_host);
+  const auto& segment = platform_.net_model().classify(
+      static_cast<std::uint64_t>(std::max(0.0, bytes)));
+  transfer->latency = segment.latency_factor * route.latency;
+  transfer->amount = bytes > 0 ? bytes / segment.bandwidth_factor : 0.0;
+  transfer->link_resources = route.resources;
+
+  if (transfer->latency <= 0) {
+    start_flow(*transfer);
+  } else {
+    heap_.push(HeapItem{now_ + transfer->latency, seq_++,
+                        HeapItem::What::latency_done, transfer});
+  }
+  return transfer;
+}
+
+std::shared_ptr<Transfer> Engine::injection_async(int host, double bytes) {
+  auto transfer = std::make_shared<Transfer>();
+  transfer->src_host = host;
+  transfer->dst_host = host;
+  transfer->bytes = bytes;
+  transfer->amount = bytes;
+  ++stats_.activities;
+  const plat::LinkId loopback = platform_.host(host).loopback;
+  if (loopback != plat::kNone)
+    transfer->link_resources.push_back(
+        link_res_[static_cast<std::size_t>(loopback)]);
+  start_flow(*transfer);
+  return transfer;
+}
+
+std::shared_ptr<Timer> Engine::timer_async(SimTime duration) {
+  if (duration < 0) throw SimError("timer_async: negative duration");
+  auto timer = std::make_shared<Timer>();
+  timer->fire_at = now_ + duration;
+  ++stats_.activities;
+  if (duration == 0) {
+    complete(*timer);
+  } else {
+    heap_.push(
+        HeapItem{timer->fire_at, seq_++, HeapItem::What::timer_fire, timer});
+  }
+  return timer;
+}
+
+GatePtr Engine::make_gate() {
+  auto gate = std::make_shared<Gate>();
+  gate->engine_ = this;
+  ++stats_.activities;
+  return gate;
+}
+
+void Engine::start_flow(Transfer& transfer) {
+  if (transfer.done()) return;
+  transfer.flowing = true;
+  if (transfer.amount <= 0 || transfer.link_resources.empty()) {
+    // Nothing to stream (zero payload) or an unconstrained local copy.
+    complete(transfer);
+    return;
+  }
+  transfer.fluid.remaining = transfer.amount;
+  transfer.fluid.last_update = now_;
+  transfer.fluid.var = net_lmm_.add_variable(1.0, transfer.link_resources);
+  transfer.fluid.index = net_flows_.size();
+  net_flows_.push_back(
+      std::static_pointer_cast<Transfer>(transfer.shared_from_this()));
+}
+
+void Engine::complete(Activity& activity) {
+  if (activity.done_) return;
+  activity.done_ = true;
+  activity.finish_time_ = now_;
+  switch (activity.kind()) {
+    case Activity::Kind::exec: {
+      auto& exec = static_cast<Exec&>(activity);
+      auto& execs = host_execs_[static_cast<std::size_t>(exec.host)];
+      if (exec.fluid.index < execs.size() &&
+          execs[exec.fluid.index].get() == &exec) {
+        execs[exec.fluid.index] = std::move(execs.back());
+        execs[exec.fluid.index]->fluid.index = exec.fluid.index;
+        execs.pop_back();
+        reschedule_host(exec.host);
+      }
+      break;
+    }
+    case Activity::Kind::transfer: {
+      auto& transfer = static_cast<Transfer&>(activity);
+      if (transfer.fluid.var >= 0) {
+        net_lmm_.remove_variable(transfer.fluid.var);
+        transfer.fluid.var = -1;
+        const std::size_t i = transfer.fluid.index;
+        net_flows_[i] = std::move(net_flows_.back());
+        net_flows_[i]->fluid.index = i;
+        net_flows_.pop_back();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto waiter : activity.waiters_) ready_.push_back(waiter);
+  activity.waiters_.clear();
+}
+
+void Engine::drain_ready() {
+  while (!ready_.empty()) {
+    const auto handle = ready_.front();
+    ready_.pop_front();
+    ++stats_.resumes;
+    handle.resume();
+  }
+  if (keepalive_.size() > 1024) {
+    keepalive_.erase(
+        std::remove_if(keepalive_.begin(), keepalive_.end(),
+                       [](const ActivityPtr& a) { return a->done(); }),
+        keepalive_.end());
+  }
+}
+
+void Engine::run() {
+  running_ = true;
+  drain_ready();
+
+  const auto pop_stale = [this] {
+    while (!finish_heap_.empty()) {
+      const FinishItem& top = finish_heap_.top();
+      if (top.activity->done() || top.generation != top.fluid->generation) {
+        finish_heap_.pop();
+      } else {
+        break;
+      }
+    }
+  };
+
+  while (!first_error_) {
+    resolve_network();
+
+    pop_stale();
+    const SimTime t_fluid =
+        finish_heap_.empty() ? kInf : finish_heap_.top().time;
+    const SimTime t_heap = heap_.empty() ? kInf : heap_.top().time;
+    const SimTime t_next = std::min(t_fluid, t_heap);
+    if (t_next == kInf) break;
+    now_ = t_next;
+
+    // Complete every fluid due at this instant. Completions can reschedule
+    // siblings to earlier finishes (a host freeing up), so keep examining
+    // the heap top rather than iterating a snapshot.
+    const double time_eps = 1e-9 * (1.0 + std::abs(now_));
+    for (;;) {
+      pop_stale();
+      if (finish_heap_.empty()) break;
+      const FinishItem top = finish_heap_.top();
+      if (top.time > now_ + time_eps) break;
+      finish_heap_.pop();
+      complete(*top.activity);
+    }
+
+    while (!heap_.empty() && heap_.top().time <= now_ + time_eps) {
+      HeapItem item = heap_.top();
+      heap_.pop();
+      ++stats_.heap_events;
+      if (item.activity->done()) continue;
+      if (item.what == HeapItem::What::timer_fire) {
+        complete(*item.activity);
+      } else {
+        start_flow(static_cast<Transfer&>(*item.activity));
+      }
+    }
+
+    drain_ready();
+  }
+
+  running_ = false;
+  if (first_error_) {
+    const auto error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (live_processes_ > 0 && config_.deadlock_is_error) {
+    std::ostringstream os;
+    os << "deadlock: " << live_processes_
+       << " process(es) blocked with no pending event:";
+    int listed = 0;
+    for (const auto& p : processes_) {
+      if (!p->finished() && listed < 10) {
+        os << ' ' << p->name();
+        ++listed;
+      }
+    }
+    throw SimError(os.str());
+  }
+}
+
+Co<void> wait_all(Engine& engine, std::vector<ActivityPtr> activities) {
+  for (const auto& activity : activities) co_await engine.wait(activity);
+}
+
+}  // namespace tir::sim

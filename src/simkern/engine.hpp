@@ -1,0 +1,224 @@
+// The discrete-event simulation engine (SimGrid-kernel equivalent).
+//
+// The engine advances a fluid model: at any instant every running Exec /
+// Transfer progresses at a rate; the next event is the earliest fluid
+// completion or the earliest timed event (timer firing, transfer latency
+// expiring). Simulated processes are coroutines resumed by the engine;
+// they create activities and `co_await engine.wait(activity)`.
+//
+// Scalability design (this is what keeps 1,024-rank replays tractable):
+//   - CPUs are scheduled separately from the network: concurrent Execs on
+//     a host share its power equally, so only that host's Execs are
+//     touched when one starts or finishes (O(execs-on-host), not
+//     O(all-activities)).
+//   - Network flows go through the max-min solver, re-solved only when
+//     the flow set changes.
+//   - Fluid progress is tracked lazily: each fluid stores its remaining
+//     work as of `last_update` and a predicted finish time kept in a
+//     priority queue (stale entries are skipped by generation counters).
+//     Advancing simulated time is O(1) instead of O(active fluids).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "simkern/activity.hpp"
+#include "simkern/co.hpp"
+#include "simkern/maxmin.hpp"
+
+namespace tir::sim {
+
+class Process {
+ public:
+  int id() const { return id_; }
+  int host() const { return host_; }
+  const std::string& name() const { return name_; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class Engine;
+  friend struct Task::promise_type::FinalAwaiter;
+  int id_ = -1;
+  int host_ = -1;
+  std::string name_;
+  bool finished_ = false;
+  Engine* engine_ = nullptr;
+  Task::Handle coro_;
+  // The body callable must outlive its coroutine frame: a coroutine lambda
+  // references its own closure object, so the Process owns it.
+  std::function<Task(Process&)> body_;
+};
+
+struct EngineConfig {
+  /// When true (default), run() throws SimError if processes remain blocked
+  /// with no pending event (deadlock). When false, run() returns normally.
+  bool deadlock_is_error = true;
+};
+
+struct EngineStats {
+  std::uint64_t resumes = 0;        ///< coroutine context switches
+  std::uint64_t activities = 0;     ///< activities created
+  std::uint64_t solver_calls = 0;   ///< network max-min re-solves
+  std::uint64_t heap_events = 0;    ///< timed events dispatched
+};
+
+class Engine {
+ public:
+  explicit Engine(const plat::Platform& platform, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const plat::Platform& platform() const { return platform_; }
+  SimTime now() const { return now_; }
+  const EngineStats& stats() const { return stats_; }
+
+  using ProcessBody = std::function<Task(Process&)>;
+
+  /// Creates a process on `host`, scheduled to start at the current time.
+  Process& spawn(std::string name, int host, ProcessBody body);
+
+  /// Runs until no event remains. Throws the first exception escaping a
+  /// process body, or SimError on deadlock (see EngineConfig).
+  void run();
+
+  // -- activity factories (started immediately) ---------------------------
+
+  /// Computation of `flops` on `host` at `efficiency` * nominal speed.
+  /// The CPU is shared equally among concurrent Execs on the host.
+  std::shared_ptr<Exec> exec_async(int host, double flops,
+                                   double efficiency = 1.0);
+
+  /// Message of `bytes` from src to dst, subject to the platform's
+  /// piece-wise-linear MPI model and link contention.
+  std::shared_ptr<Transfer> transfer_async(int src_host, int dst_host,
+                                           double bytes);
+
+  /// Local buffer copy of `bytes` on `host` (an eager send handing its
+  /// payload to the MPI runtime): a zero-latency fluid over the host's
+  /// loopback (memory) capacity. Completes instantly when the host has no
+  /// loopback link configured.
+  std::shared_ptr<Transfer> injection_async(int host, double bytes);
+
+  std::shared_ptr<Timer> timer_async(SimTime duration);
+
+  /// Nominal one-way route latency between two hosts (cached).
+  double route_latency(int src_host, int dst_host);
+
+  GatePtr make_gate();
+
+  // -- awaiting ------------------------------------------------------------
+
+  struct Awaiter {
+    Activity* activity;
+    bool await_ready() const noexcept { return activity->done(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      activity->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await engine.wait(act) — suspends until the activity completes.
+  Awaiter wait(const ActivityPtr& activity) { return Awaiter{activity.get()}; }
+  Awaiter wait(Activity& activity) { return Awaiter{&activity}; }
+
+  /// Convenience: one-shot sleep.
+  Awaiter wait_for(SimTime duration) {
+    auto t = timer_async(duration);
+    keepalive_.push_back(t);
+    return Awaiter{t.get()};
+  }
+
+ private:
+  friend class Gate;
+  friend struct Task::promise_type::FinalAwaiter;
+
+  struct CachedRoute {
+    std::vector<ResourceId> resources;
+    double latency = 0.0;
+  };
+
+  struct HeapItem {
+    SimTime time;
+    std::uint64_t seq;
+    enum class What { timer_fire, latency_done } what;
+    ActivityPtr activity;
+    bool operator>(const HeapItem& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Lazy finish-time queue for fluids; stale entries are recognised by a
+  // per-fluid generation counter. Entries hold a strong reference: an
+  // activity may complete (and its owner drop it) long before its stale
+  // queue entries surface.
+  struct FinishItem {
+    SimTime time;
+    std::uint64_t seq;
+    ActivityPtr activity;
+    FluidState* fluid;  // points into *activity
+    std::uint64_t generation;
+    bool operator>(const FinishItem& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  const CachedRoute& cached_route(int src_host, int dst_host);
+  void complete(Activity& activity);
+  void start_flow(Transfer& transfer);
+
+  /// Brings `fluid.remaining` up to date at the current time.
+  void catch_up(FluidState& fluid);
+  /// Sets a fluid's rate (catching it up first) and requeues its finish.
+  void set_rate(const ActivityPtr& activity, FluidState& fluid, double rate);
+
+  /// Equal-share rescheduling of one host's Execs.
+  void reschedule_host(int host);
+  /// Network max-min resolve; updates every flow whose rate changed.
+  void resolve_network();
+
+  void drain_ready();
+  void on_process_exit(Process& process);
+
+  const plat::Platform& platform_;
+  EngineConfig config_;
+
+  // Network model state. The engine keeps flowing transfers alive.
+  MaxMin net_lmm_;
+  std::vector<ResourceId> link_res_;   // link id -> network resource
+  std::vector<std::shared_ptr<Transfer>> net_flows_;  // swap-removed
+
+  // CPU scheduling state; active execs per host, kept alive by the engine.
+  std::vector<std::vector<std::shared_ptr<Exec>>> host_execs_;
+
+  std::unordered_map<std::uint64_t, CachedRoute> route_cache_;
+
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::priority_queue<FinishItem, std::vector<FinishItem>, std::greater<>>
+      finish_heap_;
+  std::deque<std::coroutine_handle<>> ready_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::size_t live_processes_ = 0;
+  std::vector<ActivityPtr> keepalive_;  // anonymous timers from wait_for
+  std::exception_ptr first_error_;
+  EngineStats stats_;
+  bool running_ = false;
+};
+
+/// Awaits every activity in order (completion order does not matter for the
+/// resulting simulated time).
+Co<void> wait_all(Engine& engine, std::vector<ActivityPtr> activities);
+
+}  // namespace tir::sim

@@ -1,0 +1,189 @@
+#include "simkern/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tir::sim {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+ResourceId MaxMin::add_resource(double capacity) {
+  if (capacity < 0) throw Error("MaxMin: capacity must be non-negative");
+  resources_.push_back(Res{capacity, {}});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+double MaxMin::capacity(ResourceId r) const {
+  return resources_.at(static_cast<std::size_t>(r)).capacity;
+}
+
+void MaxMin::set_capacity(ResourceId r, double capacity) {
+  if (capacity < 0) throw Error("MaxMin: capacity must be non-negative");
+  resources_.at(static_cast<std::size_t>(r)).capacity = capacity;
+  dirty_ = true;
+}
+
+VarId MaxMin::add_variable(double weight,
+                           const std::vector<ResourceId>& resources,
+                           double bound) {
+  if (weight <= 0) throw Error("MaxMin: variable weight must be positive");
+  if (bound <= 0) throw Error("MaxMin: variable bound must be positive");
+  if (resources.empty() && bound == kInf)
+    throw Error("MaxMin: a variable needs a resource or a finite bound");
+
+  VarId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    vars_.emplace_back();
+    id = static_cast<VarId>(vars_.size() - 1);
+  }
+  Var& v = vars_[static_cast<std::size_t>(id)];
+  v.weight = weight;
+  v.bound = bound;
+  v.rate = 0.0;
+  v.active = true;
+  v.resources = resources;
+  std::sort(v.resources.begin(), v.resources.end());
+  v.resources.erase(std::unique(v.resources.begin(), v.resources.end()),
+                    v.resources.end());
+  for (const ResourceId r : v.resources) {
+    if (r < 0 || static_cast<std::size_t>(r) >= resources_.size())
+      throw Error("MaxMin: unknown resource id");
+    resources_[static_cast<std::size_t>(r)].vars.push_back(id);
+  }
+  ++active_count_;
+  dirty_ = true;
+  return id;
+}
+
+void MaxMin::remove_variable(VarId id) {
+  Var& v = vars_.at(static_cast<std::size_t>(id));
+  if (!v.active) throw Error("MaxMin: removing an inactive variable");
+  v.active = false;
+  v.rate = 0.0;
+  // Resource membership lists are compacted lazily during solve().
+  --active_count_;
+  free_ids_.push_back(id);
+  dirty_ = true;
+}
+
+double MaxMin::rate(VarId id) const {
+  const Var& v = vars_.at(static_cast<std::size_t>(id));
+  if (!v.active) throw Error("MaxMin: rate() on an inactive variable");
+  return v.rate;
+}
+
+double MaxMin::resource_load(ResourceId r) const {
+  double load = 0.0;
+  for (const VarId id : resources_.at(static_cast<std::size_t>(r)).vars) {
+    const Var& v = vars_[static_cast<std::size_t>(id)];
+    if (v.active) load += v.rate;
+  }
+  return load;
+}
+
+void MaxMin::solve() {
+  if (!dirty_) return;
+  dirty_ = false;
+
+  // Working sets: only resources used by at least one active variable
+  // participate. Compact the per-resource membership lists on the way.
+  std::vector<ResourceId> live_resources;
+  std::vector<double> remaining(resources_.size(), 0.0);
+  std::vector<double> weight_sum(resources_.size(), 0.0);
+  std::vector<char> seen(resources_.size(), 0);
+
+  std::vector<VarId> unsat;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    Var& v = vars_[i];
+    if (!v.active) continue;
+    v.rate = 0.0;
+    unsat.push_back(static_cast<VarId>(i));
+    for (const ResourceId r : v.resources) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (!seen[ri]) {
+        seen[ri] = 1;
+        live_resources.push_back(r);
+        remaining[ri] = resources_[ri].capacity;
+        // Compact: drop inactive members accumulated since the last solve.
+        auto& members = resources_[ri].vars;
+        members.erase(std::remove_if(members.begin(), members.end(),
+                                     [&](VarId m) {
+                                       return !vars_[static_cast<std::size_t>(
+                                                         m)]
+                                                   .active;
+                                     }),
+                      members.end());
+      }
+      weight_sum[ri] += v.weight;
+    }
+  }
+
+  std::vector<char> var_done(vars_.size(), 0);
+
+  while (!unsat.empty()) {
+    // Smallest per-weight share offered by any live resource.
+    double best_share = MaxMin::kInf;
+    for (const ResourceId r : live_resources) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (weight_sum[ri] > kEps) {
+        best_share = std::min(best_share, remaining[ri] / weight_sum[ri]);
+      }
+    }
+
+    const auto saturate = [&](VarId id, double rate) {
+      Var& v = vars_[static_cast<std::size_t>(id)];
+      v.rate = rate;
+      var_done[static_cast<std::size_t>(id)] = 1;
+      for (const ResourceId r : v.resources) {
+        const auto ri = static_cast<std::size_t>(r);
+        remaining[ri] = std::max(0.0, remaining[ri] - rate);
+        weight_sum[ri] -= v.weight;
+      }
+    };
+
+    // Variables whose bound binds before (or at) the resource share.
+    bool any_bounded = false;
+    for (const VarId id : unsat) {
+      const Var& v = vars_[static_cast<std::size_t>(id)];
+      if (v.bound < best_share * v.weight * (1.0 - 1e-9) ||
+          best_share == MaxMin::kInf) {
+        if (v.bound == kInf)
+          throw Error("MaxMin: unconstrained variable (no live resource)");
+        saturate(id, v.bound);
+        any_bounded = true;
+      }
+    }
+    if (!any_bounded) {
+      // Saturate every variable touching a binding resource.
+      for (const ResourceId r : live_resources) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (weight_sum[ri] <= kEps) continue;
+        if (remaining[ri] / weight_sum[ri] <= best_share * (1.0 + 1e-9)) {
+          // Copy: saturate() mutates the membership weights.
+          const std::vector<VarId> users = resources_[ri].vars;
+          for (const VarId id : users) {
+            if (var_done[static_cast<std::size_t>(id)]) continue;
+            const Var& v = vars_[static_cast<std::size_t>(id)];
+            if (!v.active) continue;
+            saturate(id, std::min(v.bound, best_share * v.weight));
+          }
+        }
+      }
+    }
+    unsat.erase(std::remove_if(unsat.begin(), unsat.end(),
+                               [&](VarId id) {
+                                 return var_done[static_cast<std::size_t>(
+                                     id)] != 0;
+                               }),
+                unsat.end());
+  }
+}
+
+}  // namespace tir::sim

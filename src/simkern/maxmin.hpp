@@ -1,0 +1,81 @@
+// Max-min fairness solver (SimGrid's "LMM" — linear max-min model).
+//
+// Resources (CPUs, network links) have a capacity; variables (executions,
+// data flows) consume one or more resources with a weight and may carry an
+// upper rate bound. solve() assigns every active variable the max-min fair
+// rate: rates are raised uniformly (proportionally to weights) until either
+// a resource saturates or a variable hits its bound; saturated participants
+// are frozen and the process repeats (progressive filling).
+//
+// Optimality conditions (checked by the property tests):
+//   1. No resource exceeds its capacity.
+//   2. Every variable either sits at its bound or uses at least one
+//      saturated resource.
+//   3. On a saturated resource, no variable's rate/weight ratio can grow
+//      without another's shrinking.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tir::sim {
+
+using ResourceId = int;
+using VarId = int;
+
+class MaxMin {
+ public:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Adds a resource with the given capacity (units: flop/s or bytes/s).
+  ResourceId add_resource(double capacity);
+
+  double capacity(ResourceId r) const;
+  void set_capacity(ResourceId r, double capacity);
+
+  /// Adds an active variable. `resources` may repeat ids (a flow crossing
+  /// the same switch twice); repeated ids count once. An empty resource
+  /// list requires a finite bound.
+  VarId add_variable(double weight, const std::vector<ResourceId>& resources,
+                     double bound = kInf);
+
+  /// Deactivates a variable. Its id is recycled.
+  void remove_variable(VarId v);
+
+  /// True when the active-variable set changed since the last solve().
+  bool dirty() const { return dirty_; }
+
+  /// Recomputes all rates (no-op when not dirty).
+  void solve();
+
+  /// Rate assigned by the last solve(). Requires an active variable.
+  double rate(VarId v) const;
+
+  std::size_t active_variable_count() const { return active_count_; }
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Total rate currently allocated on a resource (diagnostics/tests).
+  double resource_load(ResourceId r) const;
+
+ private:
+  struct Res {
+    double capacity = 0.0;
+    std::vector<VarId> vars;  // active users; compacted lazily in solve()
+  };
+  struct Var {
+    double weight = 1.0;
+    double bound = kInf;
+    double rate = 0.0;
+    bool active = false;
+    std::vector<ResourceId> resources;  // deduplicated
+  };
+
+  std::vector<Res> resources_;
+  std::vector<Var> vars_;
+  std::vector<VarId> free_ids_;
+  std::size_t active_count_ = 0;
+  bool dirty_ = true;
+};
+
+}  // namespace tir::sim

@@ -1,0 +1,57 @@
+#include "skampi/pingpong.hpp"
+
+#include "mpisim/mpi.hpp"
+#include <algorithm>
+#include "support/error.hpp"
+
+namespace tir::skampi {
+
+std::vector<PingpongPoint> run_pingpong(const plat::Platform& platform,
+                                        int host_a, int host_b,
+                                        const std::vector<std::uint64_t>& sizes,
+                                        std::uint64_t eager_threshold) {
+  if (sizes.empty()) throw Error("pingpong: no sizes");
+  std::vector<PingpongPoint> points;
+  points.reserve(sizes.size());
+  for (const std::uint64_t size : sizes) {
+    sim::Engine engine(platform);
+    mpi::Config cfg;
+    cfg.eager_threshold = eager_threshold;
+    mpi::World world(engine, {host_a, host_b}, cfg);
+    world.launch_rank(0, [size](mpi::Rank& rank) -> sim::Co<void> {
+      co_await rank.send(1, size, 0);
+      co_await rank.recv(1, size, 0);
+    });
+    world.launch_rank(1, [size](mpi::Rank& rank) -> sim::Co<void> {
+      co_await rank.recv(0, size, 0);
+      co_await rank.send(0, size, 0);
+    });
+    engine.run();
+    world.check_quiescent();
+    points.push_back(PingpongPoint{size, engine.now()});
+  }
+  return points;
+}
+
+std::vector<std::uint64_t> default_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1; s <= (4u << 20); s *= 2) sizes.push_back(s);
+  // Probes straddling the default segment boundaries (1 KiB, 64 KiB).
+  for (const std::uint64_t s : {768u, 1100u, 1500u, 48u * 1024, 80u * 1024})
+    sizes.push_back(s);
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+double estimate_link_latency(const std::vector<PingpongPoint>& data,
+                             int links_between_nodes) {
+  if (links_between_nodes < 1)
+    throw Error("pingpong: hop count must be positive");
+  for (const auto& point : data) {
+    if (point.bytes == 1)
+      return point.round_trip / (2.0 * links_between_nodes);
+  }
+  throw Error("pingpong: the sweep holds no 1-byte measurement");
+}
+
+}  // namespace tir::skampi

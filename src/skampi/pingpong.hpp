@@ -1,0 +1,36 @@
+// SKaMPI-style Pingpong_Send_Recv benchmark (paper §5).
+//
+// Used to instantiate the network parameters of the platform file: the
+// latency of a link is derived from the 1-byte ping-pong time divided by
+// six (2 for the round trip x 3 for the nic-switch-nic hop count), and the
+// measured curve feeds the best-fit of the piece-wise linear MPI model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace tir::skampi {
+
+struct PingpongPoint {
+  std::uint64_t bytes = 0;
+  double round_trip = 0.0;  ///< seconds for send + reply
+};
+
+/// Runs one ping-pong per size between two hosts of `platform`.
+std::vector<PingpongPoint> run_pingpong(const plat::Platform& platform,
+                                        int host_a, int host_b,
+                                        const std::vector<std::uint64_t>& sizes,
+                                        std::uint64_t eager_threshold = 64 *
+                                                                        1024);
+
+/// The default SKaMPI-like size sweep: 1 B .. 4 MiB, powers of two plus
+/// probes around the segment boundaries.
+std::vector<std::uint64_t> default_sizes();
+
+/// §5's latency rule: 1-byte ping-pong time / (2 * links_between_nodes).
+double estimate_link_latency(const std::vector<PingpongPoint>& data,
+                             int links_between_nodes = 3);
+
+}  // namespace tir::skampi

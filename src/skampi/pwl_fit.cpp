@@ -1,0 +1,90 @@
+#include "skampi/pwl_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace tir::skampi {
+
+namespace {
+
+struct SegmentFit {
+  plat::NetSegment segment;
+  double sse = 0.0;
+};
+
+SegmentFit fit_segment(const std::vector<PingpongPoint>& data,
+                       std::uint64_t lo, std::uint64_t hi, double latency,
+                       double bandwidth) {
+  std::vector<double> sizes, times;
+  for (const auto& point : data) {
+    if (point.bytes >= lo && point.bytes < hi) {
+      sizes.push_back(static_cast<double>(point.bytes));
+      times.push_back(point.round_trip / 2.0);  // one-way
+    }
+  }
+  SegmentFit fit;
+  if (sizes.size() < 2) {
+    // Too few points: keep the nominal factors (pragmatic fallback the
+    // SimGrid script applies as well).
+    fit.segment = plat::NetSegment{1.0, 1.0};
+    return fit;
+  }
+  const LinearFit line = least_squares(sizes, times);
+  fit.sse = line.sse;
+  const double lambda = latency > 0 ? line.intercept / latency : 1.0;
+  const double beta =
+      line.slope > 0 ? 1.0 / (line.slope * bandwidth) : 1.0;
+  fit.segment.latency_factor = lambda > 0 ? lambda : 1.0;
+  fit.segment.bandwidth_factor = beta > 0 ? beta : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+PwlFitResult fit_piecewise_model(const std::vector<PingpongPoint>& data,
+                                 double nominal_latency,
+                                 double nominal_bandwidth,
+                                 std::uint64_t small_limit,
+                                 std::uint64_t large_limit) {
+  if (nominal_latency <= 0 || nominal_bandwidth <= 0)
+    throw Error("pwl fit: nominal latency/bandwidth must be positive");
+  const SegmentFit s0 =
+      fit_segment(data, 0, small_limit, nominal_latency, nominal_bandwidth);
+  const SegmentFit s1 = fit_segment(data, small_limit, large_limit,
+                                    nominal_latency, nominal_bandwidth);
+  const SegmentFit s2 = fit_segment(
+      data, large_limit, std::numeric_limits<std::uint64_t>::max(),
+      nominal_latency, nominal_bandwidth);
+  PwlFitResult result;
+  result.model = plat::PiecewiseNetModel(
+      small_limit, large_limit, {s0.segment, s1.segment, s2.segment});
+  result.sse = s0.sse + s1.sse + s2.sse;
+  return result;
+}
+
+PwlFitResult fit_piecewise_model_search(
+    const std::vector<PingpongPoint>& data, double nominal_latency,
+    double nominal_bandwidth,
+    const std::vector<std::uint64_t>& boundary_candidates) {
+  if (boundary_candidates.size() < 2)
+    throw Error("pwl fit: need at least two boundary candidates");
+  std::vector<std::uint64_t> candidates = boundary_candidates;
+  std::sort(candidates.begin(), candidates.end());
+  PwlFitResult best;
+  best.sse = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const PwlFitResult fit =
+          fit_piecewise_model(data, nominal_latency, nominal_bandwidth,
+                              candidates[i], candidates[j]);
+      if (fit.sse < best.sse) best = fit;
+    }
+  }
+  return best;
+}
+
+}  // namespace tir::skampi

@@ -1,0 +1,38 @@
+// Best-fit instantiation of the piece-wise linear MPI model (paper §5):
+// "this script determines the latency and bandwidth correction factors
+// that lead to a best-fit of the experimental data for each segment of
+// this piece-wise linear model."
+//
+// Model per segment: one_way_time(S) = lambda * L + S / (beta * B), where
+// L and B are the nominal route latency and bottleneck bandwidth. An
+// ordinary least-squares line t = a + b*S per segment yields
+// lambda = a / L and beta = 1 / (b * B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/netmodel.hpp"
+#include "skampi/pingpong.hpp"
+
+namespace tir::skampi {
+
+struct PwlFitResult {
+  plat::PiecewiseNetModel model;
+  double sse = 0.0;  ///< sum of squared residuals over all segments
+};
+
+/// Fits the three segments between fixed boundaries.
+PwlFitResult fit_piecewise_model(const std::vector<PingpongPoint>& data,
+                                 double nominal_latency,
+                                 double nominal_bandwidth,
+                                 std::uint64_t small_limit,
+                                 std::uint64_t large_limit);
+
+/// Scans candidate boundary pairs and keeps the lowest-SSE fit.
+PwlFitResult fit_piecewise_model_search(
+    const std::vector<PingpongPoint>& data, double nominal_latency,
+    double nominal_bandwidth,
+    const std::vector<std::uint64_t>& boundary_candidates);
+
+}  // namespace tir::skampi

@@ -1,0 +1,9 @@
+#include "support/error.hpp"
+
+namespace tir {
+
+void parse_fail(const std::string& where, const std::string& msg) {
+  throw ParseError(where + ": " + msg);
+}
+
+}  // namespace tir

@@ -1,0 +1,39 @@
+// Error types shared across the TIR libraries.
+//
+// All recoverable failures raise a subclass of tir::Error so that callers can
+// catch the library's failures without also catching unrelated std exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tir {
+
+/// Base class of every exception thrown by the TIR libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input: trace lines, platform files, unit strings, ...
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A simulation invariant was violated (deadlock, unknown host, ...).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure while reading or writing trace files.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ParseError with a location prefix. Convenience for parsers.
+[[noreturn]] void parse_fail(const std::string& where, const std::string& msg);
+
+}  // namespace tir

@@ -1,0 +1,31 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tir::log {
+
+namespace {
+std::atomic<Level> g_level{Level::warn};
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::debug: return "DEBUG";
+    case Level::info:  return "INFO ";
+    case Level::warn:  return "WARN ";
+    case Level::error: return "ERROR";
+    default:           return "?????";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::fprintf(stderr, "[tir %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace tir::log

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per engine, so the
+// logger keeps no per-thread state; a global level filters output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tir::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the global level. Messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Emits one line to stderr if `level` passes the global filter.
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::debug)
+    write(Level::debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::info)
+    write(Level::info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::warn)
+    write(Level::warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::error)
+    write(Level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace tir::log

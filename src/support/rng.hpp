@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// The simulator must be reproducible run-to-run, so every stochastic model
+// (counter jitter, runtime noise) draws from an explicitly seeded Rng owned
+// by its component. Never use std::random_device in library code.
+#pragma once
+
+#include <cstdint>
+
+namespace tir {
+
+/// xoshiro256** by Blackman & Vigna; small, fast, and good enough for
+/// simulation noise. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (mean 0, stddev 1).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tir

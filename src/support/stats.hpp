@@ -1,0 +1,48 @@
+// Streaming statistics (Welford) and small helpers for experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tir {
+
+/// Accumulates mean / variance without storing samples (Welford's method).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// |measured - reference| / reference. Returns 0 when reference is 0.
+double relative_error(double measured, double reference);
+
+/// Exact median (copies and sorts the input).
+double median(std::vector<double> values);
+
+/// Linear regression y = a + b*x by ordinary least squares.
+/// Returns {a, b}. Requires at least two points with distinct x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Sum of squared residuals of the fit.
+  double sse = 0.0;
+};
+LinearFit least_squares(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+}  // namespace tir

@@ -1,0 +1,58 @@
+// TAU-like binary trace format (paper §4.3).
+//
+// A TAU run produces, per MPI process:
+//   tautrace.<node>.<context>.<thread>.trc — binary event records, and
+//   events.<node>.edf — the event-definition file mapping numeric event
+//   ids to function signatures, because "TAU stores a unique id for each
+//   traced event instead of its complete signature".
+//
+// Record layout (24 bytes, fixed):
+//   int32  ev    — event id (from the edf)
+//   uint16 nid   — node (rank)
+//   uint16 tid   — thread (always 0 here)
+//   uint64 ti    — timestamp in microseconds
+//   int64  par   — event parameter:
+//            EntryExit events:   +1 = EnterState, -1 = LeaveState
+//            TriggerValue events: the counter value (e.g. PAPI_FP_OPS)
+//            message events:      packed (partner, tag, size) — see below
+//
+// Message records use two reserved events declared in the edf
+// ("MESSAGE_SEND" / "MESSAGE_RECV", group TAUMSG). Their parameter packs
+// partner (16 bits), MPI tag (16 bits) and size (32 bits).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace tir::tau {
+
+struct Record {
+  std::int32_t ev = 0;
+  std::uint16_t nid = 0;
+  std::uint16_t tid = 0;
+  std::uint64_t time_us = 0;
+  std::int64_t parameter = 0;
+};
+static_assert(sizeof(Record) == 24);
+
+enum class EventKind { entry_exit, trigger_value, message_send, message_recv };
+
+struct EventDef {
+  int id = 0;
+  std::string group;       ///< "MPI", "TAUEVENT", "TAUMSG", "TAU_USER"...
+  int tag = 0;
+  std::string name;        ///< "MPI_Send() ", "PAPI_FP_OPS", ...
+  EventKind kind = EventKind::entry_exit;
+};
+
+/// Packs message metadata into a record parameter.
+std::int64_t pack_message(int partner, int tag, std::uint64_t bytes);
+void unpack_message(std::int64_t parameter, int& partner, int& tag,
+                    std::uint64_t& bytes);
+
+/// Canonical file names.
+std::filesystem::path trc_file_name(int node);
+std::filesystem::path edf_file_name(int node);
+
+}  // namespace tir::tau

@@ -1,0 +1,46 @@
+// TFR-style callback reader (paper §4.3).
+//
+// Mirrors the TAU Trace Format Reader library: the consumer implements a
+// set of callbacks — DefState for event definitions, EnterState/LeaveState
+// for function boundaries, EventTrigger for counters, SendMessage /
+// RecvMessage for messages — and process_trace() drives them in file order.
+// tau2ti (the paper's tau2simgrid) is written against this interface.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <unordered_map>
+
+#include "tau/tau_format.hpp"
+
+namespace tir::tau {
+
+struct Callbacks {
+  std::function<void(const EventDef&)> def_state;
+  std::function<void(int nid, int tid, std::uint64_t time_us, int event)>
+      enter_state;
+  std::function<void(int nid, int tid, std::uint64_t time_us, int event)>
+      leave_state;
+  std::function<void(int nid, int tid, std::uint64_t time_us, int event,
+                     std::int64_t value)>
+      event_trigger;
+  std::function<void(int nid, int tid, std::uint64_t time_us, int dst,
+                     std::uint64_t bytes, int tag)>
+      send_message;
+  std::function<void(int nid, int tid, std::uint64_t time_us, int src,
+                     std::uint64_t bytes, int tag)>
+      recv_message;
+};
+
+/// Parses an event-definition file.
+std::unordered_map<int, EventDef> read_event_file(
+    const std::filesystem::path& edf);
+
+/// Streams a .trc file through the callbacks. Unset callbacks are skipped.
+/// Returns the number of records processed. Throws on malformed input.
+std::uint64_t process_trace(const std::filesystem::path& trc,
+                            const std::filesystem::path& edf,
+                            const Callbacks& callbacks);
+
+}  // namespace tir::tau

@@ -1,0 +1,150 @@
+#include "tau/tau_writer.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace tir::tau {
+
+namespace {
+// Modest per-writer buffer: a 1024-rank acquisition keeps one writer per
+// rank alive, so large buffers multiply.
+constexpr std::size_t kFlushThreshold = 128 << 10;
+
+const char* kind_keyword(EventKind kind) {
+  switch (kind) {
+    case EventKind::entry_exit: return "EntryExit";
+    case EventKind::trigger_value: return "TriggerValue";
+    case EventKind::message_send: return "MessageSend";
+    case EventKind::message_recv: return "MessageRecv";
+  }
+  return "?";
+}
+}  // namespace
+
+std::int64_t pack_message(int partner, int tag, std::uint64_t bytes) {
+  if (partner < 0 || partner > 0xFFFF)
+    throw Error("tau: message partner out of the 16-bit range");
+  if (tag < 0 || tag > 0xFFFF)
+    throw Error("tau: message tag out of the 16-bit range");
+  if (bytes > 0xFFFFFFFFull)
+    throw Error("tau: message larger than 4 GiB cannot be packed");
+  return (static_cast<std::int64_t>(partner) << 48) |
+         (static_cast<std::int64_t>(tag) << 32) |
+         static_cast<std::int64_t>(bytes);
+}
+
+void unpack_message(std::int64_t parameter, int& partner, int& tag,
+                    std::uint64_t& bytes) {
+  partner = static_cast<int>((parameter >> 48) & 0xFFFF);
+  tag = static_cast<int>((parameter >> 32) & 0xFFFF);
+  bytes = static_cast<std::uint64_t>(parameter & 0xFFFFFFFFll);
+}
+
+std::filesystem::path trc_file_name(int node) {
+  return "tautrace." + std::to_string(node) + ".0.0.trc";
+}
+
+std::filesystem::path edf_file_name(int node) {
+  return "events." + std::to_string(node) + ".edf";
+}
+
+TauTraceWriter::TauTraceWriter(const std::filesystem::path& dir, int node)
+    : node_(node),
+      trc_path_(dir / trc_file_name(node)),
+      edf_path_(dir / edf_file_name(node)) {
+  std::filesystem::create_directories(dir);
+  out_.open(trc_path_, std::ios::binary);
+  if (!out_)
+    throw IoError("cannot create TAU trace '" + trc_path_.string() + "'");
+  buffer_.reserve(kFlushThreshold + sizeof(Record));
+  // Reserved message pseudo-events, mirroring TAU's internal ones.
+  defs_.push_back(EventDef{static_cast<int>(defs_.size()) + 1, "TAUMSG", 0,
+                           "MESSAGE_SEND", EventKind::message_send});
+  send_event_ = defs_.back().id;
+  defs_.push_back(EventDef{static_cast<int>(defs_.size()) + 1, "TAUMSG", 0,
+                           "MESSAGE_RECV", EventKind::message_recv});
+  recv_event_ = defs_.back().id;
+}
+
+TauTraceWriter::~TauTraceWriter() {
+  if (!closed_) close();
+}
+
+int TauTraceWriter::define_state(const std::string& group,
+                                 const std::string& name) {
+  defs_.push_back(EventDef{static_cast<int>(defs_.size()) + 1, group, 0, name,
+                           EventKind::entry_exit});
+  return defs_.back().id;
+}
+
+int TauTraceWriter::define_trigger(const std::string& group,
+                                   const std::string& name) {
+  defs_.push_back(EventDef{static_cast<int>(defs_.size()) + 1, group, 1, name,
+                           EventKind::trigger_value});
+  return defs_.back().id;
+}
+
+void TauTraceWriter::put(const Record& record) {
+  char raw[sizeof(Record)];
+  std::memcpy(raw, &record, sizeof(Record));
+  buffer_.append(raw, sizeof(Record));
+  ++records_;
+  if (buffer_.size() >= kFlushThreshold) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    trc_bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+}
+
+void TauTraceWriter::enter(int event, std::uint64_t time_us) {
+  put(Record{event, static_cast<std::uint16_t>(node_), 0, time_us, 1});
+}
+
+void TauTraceWriter::leave(int event, std::uint64_t time_us) {
+  put(Record{event, static_cast<std::uint16_t>(node_), 0, time_us, -1});
+}
+
+void TauTraceWriter::trigger(int event, std::uint64_t time_us,
+                             std::int64_t value) {
+  put(Record{event, static_cast<std::uint16_t>(node_), 0, time_us, value});
+}
+
+void TauTraceWriter::send_message(std::uint64_t time_us, int dst,
+                                  std::uint64_t bytes, int tag) {
+  put(Record{send_event_, static_cast<std::uint16_t>(node_), 0, time_us,
+             pack_message(dst, tag, bytes)});
+}
+
+void TauTraceWriter::recv_message(std::uint64_t time_us, int src,
+                                  std::uint64_t bytes, int tag) {
+  put(Record{recv_event_, static_cast<std::uint16_t>(node_), 0, time_us,
+             pack_message(src, tag, bytes)});
+}
+
+std::uint64_t TauTraceWriter::close() {
+  if (closed_) return 0;
+  closed_ = true;
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    trc_bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+  out_.close();
+
+  std::ofstream edf(edf_path_);
+  if (!edf)
+    throw IoError("cannot create event file '" + edf_path_.string() + "'");
+  edf << defs_.size() << " dynamic_trace_events\n";
+  edf << "# FunctionId Group Tag \"Name Type\" Parameters\n";
+  std::uint64_t edf_bytes = 0;
+  for (const auto& def : defs_) {
+    edf << def.id << ' ' << def.group << ' ' << def.tag << " \"" << def.name
+        << "\" " << kind_keyword(def.kind) << '\n';
+  }
+  edf.flush();
+  edf_bytes = static_cast<std::uint64_t>(edf.tellp());
+  return trc_bytes_ + edf_bytes;
+}
+
+}  // namespace tir::tau

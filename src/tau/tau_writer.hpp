@@ -1,0 +1,61 @@
+// Writer for the TAU-like binary trace of one MPI process.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tau/tau_format.hpp"
+
+namespace tir::tau {
+
+class TauTraceWriter {
+ public:
+  /// Creates tautrace.<node>.0.0.trc and (at close) events.<node>.edf
+  /// under `dir`.
+  TauTraceWriter(const std::filesystem::path& dir, int node);
+  ~TauTraceWriter();
+
+  TauTraceWriter(const TauTraceWriter&) = delete;
+  TauTraceWriter& operator=(const TauTraceWriter&) = delete;
+
+  /// Declares an EntryExit event ("MPI_Send() "); returns its id.
+  int define_state(const std::string& group, const std::string& name);
+  /// Declares a TriggerValue event ("PAPI_FP_OPS"); returns its id.
+  int define_trigger(const std::string& group, const std::string& name);
+
+  void enter(int event, std::uint64_t time_us);
+  void leave(int event, std::uint64_t time_us);
+  void trigger(int event, std::uint64_t time_us, std::int64_t value);
+  void send_message(std::uint64_t time_us, int dst, std::uint64_t bytes,
+                    int tag);
+  void recv_message(std::uint64_t time_us, int src, std::uint64_t bytes,
+                    int tag);
+
+  std::uint64_t records_written() const { return records_; }
+
+  /// Flushes the .trc and writes the .edf; returns total bytes on disk.
+  std::uint64_t close();
+
+  std::filesystem::path trc_path() const { return trc_path_; }
+  std::filesystem::path edf_path() const { return edf_path_; }
+
+ private:
+  void put(const Record& record);
+
+  int node_;
+  std::filesystem::path trc_path_;
+  std::filesystem::path edf_path_;
+  std::ofstream out_;
+  std::string buffer_;
+  std::vector<EventDef> defs_;
+  int send_event_;
+  int recv_event_;
+  std::uint64_t records_ = 0;
+  std::uint64_t trc_bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tir::tau

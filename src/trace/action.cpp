@@ -1,0 +1,158 @@
+#include "trace/action.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace tir::trace {
+
+namespace {
+
+struct KeywordEntry {
+  ActionType type;
+  std::string_view keyword;
+};
+
+// Keywords exactly as Table 1 of the paper spells them, plus the later
+// SimGrid extensions (gather / allGather / allToAll / waitAll).
+constexpr std::array<KeywordEntry, 15> kKeywords{{
+    {ActionType::compute, "compute"},
+    {ActionType::send, "send"},
+    {ActionType::isend, "Isend"},
+    {ActionType::recv, "recv"},
+    {ActionType::irecv, "Irecv"},
+    {ActionType::bcast, "bcast"},
+    {ActionType::reduce, "reduce"},
+    {ActionType::allreduce, "allReduce"},
+    {ActionType::barrier, "barrier"},
+    {ActionType::comm_size, "comm_size"},
+    {ActionType::wait, "wait"},
+    {ActionType::gather, "gather"},
+    {ActionType::allgather, "allGather"},
+    {ActionType::alltoall, "allToAll"},
+    {ActionType::waitall, "waitAll"},
+}};
+
+// Accepts "p12" or "12".
+int parse_pid(std::string_view token) {
+  if (!token.empty() && (token[0] == 'p' || token[0] == 'P'))
+    token.remove_prefix(1);
+  const long long v = str::to_int(token);
+  if (v < 0) throw ParseError("negative process id in trace line");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string_view action_keyword(ActionType type) {
+  for (const auto& entry : kKeywords)
+    if (entry.type == type) return entry.keyword;
+  throw Error("unknown ActionType");
+}
+
+ActionType action_type_from_keyword(std::string_view keyword) {
+  const std::string lowered = str::lower(keyword);
+  for (const auto& entry : kKeywords)
+    if (str::lower(entry.keyword) == lowered) return entry.type;
+  throw ParseError("unknown trace action keyword '" + std::string(keyword) +
+                   "'");
+}
+
+std::string to_line(const Action& a) {
+  std::string line = "p" + std::to_string(a.pid) + " ";
+  line += action_keyword(a.type);
+  switch (a.type) {
+    case ActionType::compute:
+    case ActionType::bcast:
+    case ActionType::gather:
+    case ActionType::allgather:
+    case ActionType::alltoall:
+      line += " " + units::format_volume(a.volume);
+      break;
+    case ActionType::send:
+    case ActionType::isend:
+      line += " p" + std::to_string(a.partner) + " " +
+              units::format_volume(a.volume);
+      break;
+    case ActionType::recv:
+    case ActionType::irecv:
+      line += " p" + std::to_string(a.partner);
+      if (a.volume > 0) line += " " + units::format_volume(a.volume);
+      break;
+    case ActionType::reduce:
+    case ActionType::allreduce:
+      line += " " + units::format_volume(a.volume) + " " +
+              units::format_volume(a.volume2);
+      break;
+    case ActionType::comm_size:
+      line += " " + std::to_string(a.comm_size);
+      break;
+    case ActionType::barrier:
+    case ActionType::wait:
+    case ActionType::waitall:
+      break;
+  }
+  return line;
+}
+
+Action parse_line(std::string_view line) {
+  const auto tokens = str::split_ws(line);
+  if (tokens.size() < 2)
+    throw ParseError("trace line needs at least '<pid> <action>': '" +
+                     std::string(line) + "'");
+  Action a;
+  a.pid = parse_pid(tokens[0]);
+  a.type = action_type_from_keyword(tokens[1]);
+
+  const auto need = [&](std::size_t n) {
+    if (tokens.size() != n)
+      throw ParseError("wrong field count for '" + std::string(tokens[1]) +
+                       "' in '" + std::string(line) + "'");
+  };
+  switch (a.type) {
+    case ActionType::compute:
+    case ActionType::bcast:
+    case ActionType::gather:
+    case ActionType::allgather:
+    case ActionType::alltoall:
+      need(3);
+      a.volume = str::to_double(tokens[2]);
+      break;
+    case ActionType::send:
+    case ActionType::isend:
+      need(4);
+      a.partner = parse_pid(tokens[2]);
+      a.volume = str::to_double(tokens[3]);
+      break;
+    case ActionType::recv:
+    case ActionType::irecv:
+      if (tokens.size() != 3 && tokens.size() != 4)
+        throw ParseError("recv takes a source and an optional volume: '" +
+                         std::string(line) + "'");
+      a.partner = parse_pid(tokens[2]);
+      if (tokens.size() == 4) a.volume = str::to_double(tokens[3]);
+      break;
+    case ActionType::reduce:
+    case ActionType::allreduce:
+      need(4);
+      a.volume = str::to_double(tokens[2]);
+      a.volume2 = str::to_double(tokens[3]);
+      break;
+    case ActionType::comm_size:
+      need(3);
+      a.comm_size = static_cast<int>(str::to_int(tokens[2]));
+      break;
+    case ActionType::barrier:
+    case ActionType::wait:
+    case ActionType::waitall:
+      need(2);
+      break;
+  }
+  if (a.volume < 0 || a.volume2 < 0)
+    throw ParseError("negative volume in '" + std::string(line) + "'");
+  return a;
+}
+
+}  // namespace tir::trace

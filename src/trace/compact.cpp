@@ -1,0 +1,222 @@
+#include "trace/compact.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace tir::trace {
+
+namespace {
+
+constexpr char kCompactMagic[4] = {'T', 'I', 'R', 'C'};
+constexpr std::uint8_t kCompactVersion = 1;
+
+// Content hash (pid excluded: programs are per-process anyway).
+std::size_t hash_action(const Action& a) {
+  std::size_t h = static_cast<std::size_t>(a.type) * 1000003u;
+  h ^= std::hash<int>{}(a.partner) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  h ^= std::hash<double>{}(a.volume) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  h ^= std::hash<double>{}(a.volume2) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  h ^= std::hash<int>{}(a.comm_size) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  return h;
+}
+
+// How many times the block [i, i+w) repeats back to back starting at i.
+std::size_t count_repeats(const std::vector<Action>& actions, std::size_t i,
+                          std::size_t w) {
+  std::size_t k = 1;
+  while (i + (k + 1) * w <= actions.size()) {
+    bool equal = true;
+    for (std::size_t j = 0; j < w; ++j) {
+      if (!(actions[i + j] == actions[i + k * w + j])) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) break;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+CompactProgram compact_actions(const std::vector<Action>& actions,
+                               std::size_t max_period) {
+  const std::size_t n = actions.size();
+  // next_same[i]: smallest j > i with actions[j] == actions[i] (candidate
+  // loop periods are distances along this chain).
+  std::vector<std::size_t> next_same(n, n);
+  {
+    std::unordered_map<std::size_t, std::size_t> last_seen;
+    for (std::size_t i = n; i-- > 0;) {
+      const std::size_t h = hash_action(actions[i]);
+      const auto it = last_seen.find(h);
+      if (it != last_seen.end() && actions[it->second] == actions[i])
+        next_same[i] = it->second;
+      last_seen[h] = i;
+    }
+  }
+
+  CompactProgram program;
+  std::vector<Action> literal;
+  const auto flush_literal = [&] {
+    if (!literal.empty()) {
+      program.push_back(LoopBlock{1, std::move(literal)});
+      literal.clear();
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Probe up to four candidate periods from the next-occurrence chain.
+    std::size_t best_w = 0, best_k = 0, best_cover = 0;
+    std::size_t probe = next_same[i];
+    for (int c = 0; c < 4 && probe < n; ++c, probe = next_same[probe]) {
+      const std::size_t w = probe - i;
+      if (w == 0 || w > max_period) break;
+      const std::size_t k = count_repeats(actions, i, w);
+      const std::size_t cover = (k - 1) * w;
+      if (k >= 2 && cover > best_cover) {
+        best_w = w;
+        best_k = k;
+        best_cover = cover;
+      }
+    }
+    // A loop only pays when it hides a meaningful amount of actions.
+    if (best_k >= 2 && best_cover >= 4) {
+      flush_literal();
+      LoopBlock block;
+      block.count = static_cast<std::uint32_t>(best_k);
+      block.body.assign(actions.begin() + static_cast<std::ptrdiff_t>(i),
+                        actions.begin() + static_cast<std::ptrdiff_t>(i + best_w));
+      program.push_back(std::move(block));
+      i += best_k * best_w;
+    } else {
+      literal.push_back(actions[i]);
+      ++i;
+    }
+  }
+  flush_literal();
+  return program;
+}
+
+std::vector<Action> expand(const CompactProgram& program) {
+  std::vector<Action> out;
+  out.reserve(static_cast<std::size_t>(expanded_size(program)));
+  for (const LoopBlock& block : program)
+    for (std::uint32_t r = 0; r < block.count; ++r)
+      out.insert(out.end(), block.body.begin(), block.body.end());
+  return out;
+}
+
+std::uint64_t expanded_size(const CompactProgram& program) {
+  std::uint64_t total = 0;
+  for (const LoopBlock& block : program)
+    total += static_cast<std::uint64_t>(block.count) * block.body.size();
+  return total;
+}
+
+std::uint64_t write_compact(const std::filesystem::path& path,
+                            const CompactProgram& program, int pid) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw IoError("cannot create compact trace '" + path.string() + "'");
+  std::string buffer;
+  const auto put_varint = [&buffer](std::uint64_t value) {
+    while (value >= 0x80) {
+      buffer.push_back(static_cast<char>((value & 0x7F) | 0x80));
+      value >>= 7;
+    }
+    buffer.push_back(static_cast<char>(value));
+  };
+  buffer.append(kCompactMagic, sizeof(kCompactMagic));
+  buffer.push_back(static_cast<char>(kCompactVersion));
+  put_varint(static_cast<std::uint64_t>(pid));
+  put_varint(program.size());
+  for (const LoopBlock& block : program) {
+    put_varint(block.count);
+    put_varint(block.body.size());
+    // Reuse the textual action encoding per entry: simple and debuggable
+    // (the count dominates the savings anyway).
+    for (const Action& a : block.body) {
+      const std::string line = to_line(a);
+      put_varint(line.size());
+      buffer += line;
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  return buffer.size();
+}
+
+CompactProgram read_compact(const std::filesystem::path& path, int* pid_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open compact trace '" + path.string() + "'");
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kCompactMagic, 4) != 0)
+    throw ParseError(path.string() + ": not a compact TIR trace");
+  if (in.get() != kCompactVersion)
+    throw ParseError(path.string() + ": unsupported compact-trace version");
+  const auto get_varint = [&in, &path]() -> std::uint64_t {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const int byte = in.get();
+      if (byte == EOF) throw ParseError(path.string() + ": truncated varint");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+      if (shift > 63) throw ParseError(path.string() + ": varint overflow");
+    }
+  };
+  const int pid = static_cast<int>(get_varint());
+  if (pid_out != nullptr) *pid_out = pid;
+  const std::uint64_t blocks = get_varint();
+  CompactProgram program;
+  program.reserve(blocks);
+  std::string line;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    LoopBlock block;
+    block.count = static_cast<std::uint32_t>(get_varint());
+    const std::uint64_t body = get_varint();
+    block.body.reserve(body);
+    for (std::uint64_t k = 0; k < body; ++k) {
+      line.resize(get_varint());
+      in.read(line.data(), static_cast<std::streamsize>(line.size()));
+      if (static_cast<std::uint64_t>(in.gcount()) != line.size())
+        throw ParseError(path.string() + ": truncated action");
+      block.body.push_back(parse_line(line));
+    }
+    program.push_back(std::move(block));
+  }
+  return program;
+}
+
+bool is_compact_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  return in.gcount() == 4 && std::memcmp(magic, kCompactMagic, 4) == 0;
+}
+
+CompactSource::CompactSource(CompactProgram program)
+    : program_(std::move(program)) {}
+
+std::optional<Action> CompactSource::next() {
+  while (block_ < program_.size()) {
+    const LoopBlock& block = program_[block_];
+    if (offset_ < block.body.size()) return block.body[offset_++];
+    offset_ = 0;
+    if (++repeat_ < block.count && !block.body.empty())
+      return block.body[offset_++];
+    repeat_ = 0;
+    ++block_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tir::trace

@@ -1,0 +1,100 @@
+#include "trace/text_format.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tir::trace {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 1 << 20;  // 1 MiB buffer
+}
+
+TextTraceWriter::TextTraceWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) throw IoError("cannot create trace file '" + path.string() + "'");
+  buffer_.reserve(kFlushThreshold + 256);
+}
+
+TextTraceWriter::~TextTraceWriter() {
+  if (!closed_) close();
+}
+
+void TextTraceWriter::write(const Action& action) {
+  buffer_ += to_line(action);
+  buffer_ += '\n';
+  ++actions_;
+  if (buffer_.size() >= kFlushThreshold) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+}
+
+std::uint64_t TextTraceWriter::close() {
+  if (closed_) return bytes_;
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+  out_.close();
+  closed_ = true;
+  return bytes_;
+}
+
+TextTraceReader::TextTraceReader(const std::filesystem::path& path,
+                                 int pid_filter)
+    : in_(path, std::ios::binary), path_(path), pid_filter_(pid_filter) {
+  if (!in_) throw IoError("cannot open trace file '" + path.string() + "'");
+}
+
+std::optional<Action> TextTraceReader::next() {
+  while (std::getline(in_, line_)) {
+    ++line_no_;
+    const auto trimmed = str::trim(line_);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Action action;
+    try {
+      action = parse_line(trimmed);
+    } catch (const ParseError& e) {
+      throw ParseError(path_.string() + ":" + std::to_string(line_no_) +
+                       ": " + e.what());
+    }
+    if (pid_filter_ >= 0 && action.pid != pid_filter_) continue;
+    return action;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::filesystem::path> write_split_traces(
+    const std::filesystem::path& dir,
+    const std::vector<std::vector<Action>>& per_process) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::filesystem::path> paths;
+  for (std::size_t p = 0; p < per_process.size(); ++p) {
+    const auto path = dir / ("SG_process" + std::to_string(p) + ".trace");
+    TextTraceWriter writer(path);
+    for (const Action& a : per_process[p]) writer.write(a);
+    writer.close();
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+void write_merged_trace(const std::filesystem::path& file,
+                        const std::vector<std::vector<Action>>& per_process) {
+  TextTraceWriter writer(file);
+  for (const auto& actions : per_process)
+    for (const Action& a : actions) writer.write(a);
+  writer.close();
+}
+
+std::vector<Action> read_all(const std::filesystem::path& file,
+                             int pid_filter) {
+  TextTraceReader reader(file, pid_filter);
+  std::vector<Action> actions;
+  while (auto a = reader.next()) actions.push_back(*a);
+  return actions;
+}
+
+}  // namespace tir::trace

@@ -1,0 +1,76 @@
+// Text trace I/O: buffered per-process writers and a streaming reader.
+//
+// The canonical layout is one file per process (SG_process<i>.trace), as
+// the paper recommends for large traces; a merged single-file layout (the
+// paper's Figure 1 right-hand side) is supported as well.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/action.hpp"
+
+namespace tir::trace {
+
+/// Streams actions into a text trace file with an internal buffer (the
+/// acquisition path writes tens of millions of lines).
+class TextTraceWriter {
+ public:
+  explicit TextTraceWriter(const std::filesystem::path& path);
+  ~TextTraceWriter();
+
+  TextTraceWriter(const TextTraceWriter&) = delete;
+  TextTraceWriter& operator=(const TextTraceWriter&) = delete;
+
+  void write(const Action& action);
+  /// Flushes and closes; returns the number of bytes written.
+  std::uint64_t close();
+
+  std::uint64_t actions_written() const { return actions_; }
+
+ private:
+  std::ofstream out_;
+  std::string buffer_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t actions_ = 0;
+  bool closed_ = false;
+};
+
+/// Pull-based reader over one text trace file. Skips blank lines and
+/// '#' comments. `pid_filter` (>= 0) keeps only that process's actions —
+/// used when several processes share a merged file.
+class TextTraceReader {
+ public:
+  explicit TextTraceReader(const std::filesystem::path& path,
+                           int pid_filter = -1);
+
+  /// Next action, or nullopt at end of file.
+  std::optional<Action> next();
+
+ private:
+  std::ifstream in_;
+  std::string line_;
+  std::filesystem::path path_;
+  int pid_filter_;
+  std::uint64_t line_no_ = 0;
+};
+
+/// Writes one file per process under `dir` using the canonical
+/// SG_process<i>.trace names. Returns the created paths.
+std::vector<std::filesystem::path> write_split_traces(
+    const std::filesystem::path& dir,
+    const std::vector<std::vector<Action>>& per_process);
+
+/// Writes everything into one merged file (process order preserved).
+void write_merged_trace(const std::filesystem::path& file,
+                        const std::vector<std::vector<Action>>& per_process);
+
+/// Loads a whole trace file into memory (small traces, tests).
+std::vector<Action> read_all(const std::filesystem::path& file,
+                             int pid_filter = -1);
+
+}  // namespace tir::trace

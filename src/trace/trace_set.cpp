@@ -1,0 +1,171 @@
+#include "trace/trace_set.hpp"
+
+#include "support/error.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/compact.hpp"
+#include "trace/text_format.hpp"
+
+namespace tir::trace {
+
+void TraceStats::account(const Action& a) {
+  ++actions;
+  switch (a.type) {
+    case ActionType::compute:
+      ++computes;
+      total_flops += a.volume;
+      break;
+    case ActionType::send:
+    case ActionType::isend:
+      ++p2p_messages;
+      total_bytes_sent += a.volume;
+      break;
+    case ActionType::bcast:
+    case ActionType::reduce:
+    case ActionType::allreduce:
+    case ActionType::barrier:
+    case ActionType::gather:
+    case ActionType::allgather:
+    case ActionType::alltoall:
+      ++collectives;
+      if (a.type == ActionType::reduce || a.type == ActionType::allreduce)
+        total_flops += a.volume2;
+      break;
+    default:
+      break;
+  }
+}
+
+TraceStats& TraceStats::operator+=(const TraceStats& other) {
+  actions += other.actions;
+  computes += other.computes;
+  p2p_messages += other.p2p_messages;
+  collectives += other.collectives;
+  total_flops += other.total_flops;
+  total_bytes_sent += other.total_bytes_sent;
+  return *this;
+}
+
+namespace {
+
+class MemorySource final : public ActionSource {
+ public:
+  explicit MemorySource(const std::vector<Action>* actions)
+      : actions_(actions) {}
+  std::optional<Action> next() override {
+    if (index_ >= actions_->size()) return std::nullopt;
+    return (*actions_)[index_++];
+  }
+
+ private:
+  const std::vector<Action>* actions_;
+  std::size_t index_ = 0;
+};
+
+class TextSource final : public ActionSource {
+ public:
+  TextSource(const std::filesystem::path& path, int pid_filter)
+      : reader_(path, pid_filter) {}
+  std::optional<Action> next() override { return reader_.next(); }
+
+ private:
+  TextTraceReader reader_;
+};
+
+class BinarySource final : public ActionSource {
+ public:
+  BinarySource(const std::filesystem::path& path, int pid_filter)
+      : reader_(path), pid_filter_(pid_filter) {}
+  std::optional<Action> next() override {
+    while (auto a = reader_.next()) {
+      if (pid_filter_ < 0 || a->pid == pid_filter_) return a;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  BinaryTraceReader reader_;
+  int pid_filter_;
+};
+
+std::unique_ptr<ActionSource> open_file(const std::filesystem::path& path,
+                                        int pid_filter) {
+  if (is_binary_trace(path))
+    return std::make_unique<BinarySource>(path, pid_filter);
+  if (is_compact_trace(path)) {
+    // Compact traces are per-process programs: no pid filtering needed.
+    return std::make_unique<CompactSource>(read_compact(path));
+  }
+  return std::make_unique<TextSource>(path, pid_filter);
+}
+
+}  // namespace
+
+TraceSet TraceSet::per_process_files(
+    std::vector<std::filesystem::path> files) {
+  if (files.empty()) throw Error("TraceSet: no trace files");
+  TraceSet set;
+  set.layout_ = Layout::split;
+  set.nprocs_ = static_cast<int>(files.size());
+  set.files_ = std::move(files);
+  return set;
+}
+
+TraceSet TraceSet::merged_file(std::filesystem::path file, int nprocs) {
+  if (nprocs <= 0) throw Error("TraceSet: nprocs must be positive");
+  TraceSet set;
+  set.layout_ = Layout::merged;
+  set.nprocs_ = nprocs;
+  set.files_.push_back(std::move(file));
+  return set;
+}
+
+TraceSet TraceSet::in_memory(std::vector<std::vector<Action>> actions) {
+  if (actions.empty()) throw Error("TraceSet: no processes");
+  TraceSet set;
+  set.layout_ = Layout::memory;
+  set.nprocs_ = static_cast<int>(actions.size());
+  set.memory_ = std::move(actions);
+  return set;
+}
+
+std::unique_ptr<ActionSource> TraceSet::open(int pid) const {
+  if (pid < 0 || pid >= nprocs_)
+    throw Error("TraceSet: invalid process id " + std::to_string(pid));
+  switch (layout_) {
+    case Layout::memory:
+      return std::make_unique<MemorySource>(
+          &memory_[static_cast<std::size_t>(pid)]);
+    case Layout::split:
+      return open_file(files_[static_cast<std::size_t>(pid)], -1);
+    case Layout::merged:
+      return open_file(files_.front(), pid);
+  }
+  throw Error("TraceSet: corrupt layout");
+}
+
+TraceStats TraceSet::stats() const {
+  TraceStats total;
+  if (layout_ == Layout::merged) {
+    // One pass over the single file (no per-pid filtering needed).
+    auto source = open_file(files_.front(), -1);
+    while (auto a = source->next()) total.account(*a);
+    return total;
+  }
+  for (int p = 0; p < nprocs_; ++p) {
+    auto source = open(p);
+    while (auto a = source->next()) total.account(*a);
+  }
+  return total;
+}
+
+std::uint64_t TraceSet::disk_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& f : files_) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(f, ec);
+    if (!ec) bytes += size;
+  }
+  return bytes;
+}
+
+}  // namespace tir::trace

@@ -1,0 +1,71 @@
+// TraceSet: the collection of per-process action streams a replay consumes.
+//
+// Three storage layouts (paper §3: "it may be preferable to split the
+// time-independent trace in several files, e.g., one file per process"):
+//   - one file per process (text or binary; auto-detected),
+//   - one merged file holding every process's actions,
+//   - in-memory vectors (tests, programmatic workloads).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "trace/action.hpp"
+
+namespace tir::trace {
+
+/// Pull interface over one process's actions.
+class ActionSource {
+ public:
+  virtual ~ActionSource() = default;
+  virtual std::optional<Action> next() = 0;
+};
+
+/// Aggregate statistics over a trace (Table 3 reporting).
+struct TraceStats {
+  std::uint64_t actions = 0;
+  std::uint64_t computes = 0;
+  std::uint64_t p2p_messages = 0;   // send/isend
+  std::uint64_t collectives = 0;    // bcast/reduce/allreduce/barrier
+  double total_flops = 0.0;
+  double total_bytes_sent = 0.0;    // p2p payload
+
+  void account(const Action& action);
+  TraceStats& operator+=(const TraceStats& other);
+};
+
+class TraceSet {
+ public:
+  /// One file per process; index in the vector = process id. Each file may
+  /// be text or binary (detected by magic).
+  static TraceSet per_process_files(std::vector<std::filesystem::path> files);
+
+  /// A single merged file; `nprocs` process streams are filtered out of it.
+  static TraceSet merged_file(std::filesystem::path file, int nprocs);
+
+  /// In-memory actions (index = process id).
+  static TraceSet in_memory(std::vector<std::vector<Action>> actions);
+
+  int nprocs() const { return nprocs_; }
+
+  /// Opens process `pid`'s stream. Each call restarts from the beginning.
+  std::unique_ptr<ActionSource> open(int pid) const;
+
+  /// Scans every stream once and accumulates statistics.
+  TraceStats stats() const;
+
+  /// Total on-disk size in bytes (0 for in-memory traces).
+  std::uint64_t disk_bytes() const;
+
+ private:
+  TraceSet() = default;
+  enum class Layout { split, merged, memory } layout_ = Layout::memory;
+  int nprocs_ = 0;
+  std::vector<std::filesystem::path> files_;
+  std::vector<std::vector<Action>> memory_;
+};
+
+}  // namespace tir::trace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/lu.hpp"
+#include "platform/cluster.hpp"
+#include "replay/calibration.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+using namespace tir;
+using namespace tir::replay;
+namespace fs = std::filesystem;
+
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tir_cal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST_F(CalibrationTest, RecoversFlatRateExactly) {
+  // A flat-efficiency app computes at a single known rate: the calibrated
+  // value must recover fraction * peak.
+  // Class W: bursts of ~100 us, long enough that the instrumentation
+  // overhead (which a real calibration also suffers) stays marginal.
+  apps::LuConfig cfg;
+  cfg.cls = apps::NpbClass::W;
+  cfg.nprocs = 4;
+  cfg.iteration_scale = 0.02;
+  cfg.flat_efficiency = true;
+  cfg.flat_rate_fraction = 0.30;
+
+  CalibrationSpec spec;
+  spec.small_instance = apps::make_lu_app(cfg);
+  spec.repetitions = 2;
+  spec.workdir = dir_;
+  const FlopCalibration result = calibrate_flop_rate(spec);
+  const double expected = 0.30 * plat::kBordereauPeakFlops;
+  // Tracing overhead slightly inflates burst durations, so the calibrated
+  // rate sits a bit below the true one.
+  EXPECT_LT(result.flop_rate, expected * 1.02);
+  EXPECT_GT(result.flop_rate, expected * 0.90);
+}
+
+TEST_F(CalibrationTest, VariablePhaseRatesLandNearPaperValue) {
+  // LU's phase efficiencies average ~0.225 of peak: the calibrated rate
+  // should fall near the 1.17 Gflop/s the paper's Figure 5 instantiates.
+  apps::LuConfig cfg;
+  cfg.cls = apps::NpbClass::W;
+  cfg.nprocs = 4;
+  cfg.iteration_scale = 0.02;
+
+  CalibrationSpec spec;
+  spec.small_instance = apps::make_lu_app(cfg);
+  spec.repetitions = 2;
+  spec.workdir = dir_;
+  const FlopCalibration result = calibrate_flop_rate(spec);
+  EXPECT_GT(result.flop_rate, 0.8e9);
+  EXPECT_LT(result.flop_rate, 1.7e9);
+}
+
+TEST_F(CalibrationTest, FiveRepetitionsAreAveraged) {
+  apps::LuConfig cfg;
+  cfg.cls = apps::NpbClass::S;
+  cfg.nprocs = 4;
+  cfg.iteration_scale = 0.05;
+
+  CalibrationSpec spec;
+  spec.small_instance = apps::make_lu_app(cfg);
+  spec.repetitions = 5;
+  spec.workdir = dir_;
+  spec.instrument.counter_jitter = 1e-3;
+  const FlopCalibration result = calibrate_flop_rate(spec);
+  ASSERT_EQ(result.per_run.size(), 5u);
+  double mean = 0;
+  for (const double r : result.per_run) mean += r;
+  mean /= 5;
+  EXPECT_DOUBLE_EQ(result.flop_rate, mean);
+  // Counter jitter makes runs differ, but only marginally.
+  for (const double r : result.per_run)
+    EXPECT_LT(tir::relative_error(r, mean), 0.01);
+}
+
+TEST_F(CalibrationTest, RejectsBadSpecs) {
+  CalibrationSpec spec;
+  spec.small_instance = apps::make_lu_app(apps::LuConfig{});
+  spec.repetitions = 0;
+  EXPECT_THROW(calibrate_flop_rate(spec), tir::Error);
+}

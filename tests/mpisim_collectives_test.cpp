@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mpisim/mpi.hpp"
+#include "platform/cluster.hpp"
+#include "support/error.hpp"
+
+using namespace tir;
+using namespace tir::mpi;
+
+namespace {
+
+plat::Platform test_platform(int nodes) {
+  plat::Platform p;
+  plat::ClusterSpec spec;
+  spec.prefix = "n-";
+  spec.count = nodes;
+  spec.power = 1e9;
+  spec.bandwidth = 1e8;
+  spec.latency = 1e-5;
+  spec.backbone_bandwidth = 1e9;
+  spec.backbone_latency = 1e-5;
+  build_cluster(p, spec);
+  p.set_net_model(plat::PiecewiseNetModel::affine_model());
+  return p;
+}
+
+std::vector<int> one_per_host(int n) {
+  std::vector<int> hosts(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) hosts[static_cast<std::size_t>(i)] = i;
+  return hosts;
+}
+
+double run_collective(int nprocs, Config cfg,
+                      std::function<sim::Co<void>(Rank&)> body) {
+  const auto p = test_platform(nprocs);
+  sim::Engine engine(p);
+  World world(engine, one_per_host(nprocs), cfg);
+  world.launch(std::move(body));
+  engine.run();
+  world.check_quiescent();
+  return engine.now();
+}
+
+}  // namespace
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BcastReachesEveryRank) {
+  const int n = GetParam();
+  const auto p = test_platform(n);
+  sim::Engine engine(p);
+  World world(engine, one_per_host(n));
+  int arrived = 0;
+  world.launch([&](Rank& r) -> sim::Co<void> {
+    co_await r.bcast(4096, 0);
+    ++arrived;
+  });
+  engine.run();
+  world.check_quiescent();
+  EXPECT_EQ(arrived, n);
+}
+
+TEST_P(CollectiveSizes, ReduceCompletesOnAllRanks) {
+  const int n = GetParam();
+  const double t = run_collective(n, Config{}, [](Rank& r) -> sim::Co<void> {
+    co_await r.reduce(4096, 1e6, 0);
+  });
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_P(CollectiveSizes, AllreduceCompletes) {
+  const int n = GetParam();
+  const double t = run_collective(n, Config{}, [](Rank& r) -> sim::Co<void> {
+    co_await r.allreduce(40, 100);
+  });
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_P(CollectiveSizes, BarrierSynchronizesSkewedRanks) {
+  const int n = GetParam();
+  const auto p = test_platform(n);
+  sim::Engine engine(p);
+  World world(engine, one_per_host(n));
+  std::vector<double> after(static_cast<std::size_t>(n), -1);
+  world.launch([&](Rank& r) -> sim::Co<void> {
+    // Rank i arrives at time i * 0.1; nobody may leave before the last.
+    co_await r.engine().wait(r.engine().timer_async(0.1 * r.rank()));
+    co_await r.barrier();
+    after[static_cast<std::size_t>(r.rank())] = r.engine().now();
+  });
+  engine.run();
+  const double slowest_arrival = 0.1 * (n - 1);
+  for (const double t : after) EXPECT_GE(t, slowest_arrival);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 32));
+
+TEST(Collectives, BinomialBcastBeatsFlatForManyRanks) {
+  const auto body = [](Rank& r) -> sim::Co<void> {
+    co_await r.bcast(32 * 1024, 0);
+  };
+  Config binomial;
+  Config flat;
+  flat.collectives = CollectiveAlgo::flat;
+  const double t_binomial = run_collective(32, binomial, body);
+  const double t_flat = run_collective(32, flat, body);
+  EXPECT_LT(t_binomial, t_flat);
+}
+
+TEST(Collectives, BcastTimeGrowsLogarithmically) {
+  const auto body = [](Rank& r) -> sim::Co<void> {
+    co_await r.bcast(1024, 0);
+  };
+  const double t8 = run_collective(8, Config{}, body);
+  const double t32 = run_collective(32, Config{}, body);
+  // log2(32)/log2(8) = 5/3; allow generous slack but reject linear growth.
+  EXPECT_LT(t32, t8 * 3.0);
+  EXPECT_GT(t32, t8);
+}
+
+TEST(Collectives, NonZeroRootWorks) {
+  const auto p = test_platform(8);
+  sim::Engine engine(p);
+  World world(engine, one_per_host(8));
+  int arrived = 0;
+  world.launch([&](Rank& r) -> sim::Co<void> {
+    co_await r.bcast(100, 3);
+    co_await r.reduce(100, 10, 5);
+    ++arrived;
+  });
+  engine.run();
+  world.check_quiescent();
+  EXPECT_EQ(arrived, 8);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossMatch) {
+  const auto p = test_platform(8);
+  sim::Engine engine(p);
+  World world(engine, one_per_host(8));
+  int rounds_done = 0;
+  world.launch([&](Rank& r) -> sim::Co<void> {
+    for (int round = 0; round < 5; ++round) {
+      co_await r.allreduce(40, 10);
+      co_await r.barrier();
+    }
+    ++rounds_done;
+  });
+  engine.run();
+  world.check_quiescent();
+  EXPECT_EQ(rounds_done, 8);
+}
+
+TEST(Collectives, ReduceComputeCostShowsUp) {
+  const auto body_cheap = [](Rank& r) -> sim::Co<void> {
+    co_await r.reduce(100, 0.0, 0);
+  };
+  const auto body_heavy = [](Rank& r) -> sim::Co<void> {
+    co_await r.reduce(100, 1e8, 0);  // 0.1 s of combining per message
+  };
+  const double cheap = run_collective(8, Config{}, body_cheap);
+  const double heavy = run_collective(8, Config{}, body_heavy);
+  EXPECT_GT(heavy, cheap + 0.05);
+}
+
+TEST(Collectives, SingleRankCollectivesAreTrivial) {
+  const double t = run_collective(1, Config{}, [](Rank& r) -> sim::Co<void> {
+    co_await r.bcast(1000, 0);
+    co_await r.barrier();
+    co_await r.allreduce(8, 0);
+  });
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "platform/cluster.hpp"
+#include "platform/deployment.hpp"
+#include "platform/platform_file.hpp"
+#include "simkern/engine.hpp"
+#include "support/error.hpp"
+
+using namespace tir::plat;
+
+namespace {
+
+// Verbatim shape of the paper's Figure 5.
+const char* kFig5 = R"(<?xml version='1.0'?>
+<!DOCTYPE platform SYSTEM "simgrid.dtd">
+<platform version="3">
+  <AS id="AS_mysite" routing="Full">
+    <cluster id="AS_mycluster"
+      prefix="mycluster-" suffix=".mysite.fr"
+      radical="0-3" power="1.17E9"
+      bw="1.25E8" lat="16.67E-6"
+      bb_bw="1.25E9" bb_lat="16.67E-6"/>
+  </AS>
+</platform>
+)";
+
+// Verbatim shape of the paper's Figure 6.
+const char* kFig6 = R"(<?xml version='1.0'?>
+<!DOCTYPE platform SYSTEM "simgrid.dtd">
+<platform version="3">
+  <process host="mycluster-0.mysite.fr" function="p0"/>
+  <process host="mycluster-1.mysite.fr" function="p1"/>
+  <process host="mycluster-2.mysite.fr" function="p2"/>
+  <process host="mycluster-3.mysite.fr" function="p3"/>
+</platform>
+)";
+
+}  // namespace
+
+TEST(PlatformFile, LoadsFigure5) {
+  const Platform p = load_platform_text(kFig5);
+  EXPECT_EQ(p.host_count(), 4u);
+  const HostId h0 = p.host_by_name("mycluster-0.mysite.fr");
+  EXPECT_DOUBLE_EQ(p.host(h0).power, 1.17e9);
+  const HostId h3 = p.host_by_name("mycluster-3.mysite.fr");
+  const Route r = p.route(h0, h3);
+  EXPECT_EQ(r.links.size(), 3u);
+  EXPECT_NEAR(r.latency, 3 * 16.67e-6, 1e-12);
+}
+
+TEST(PlatformFile, SupportsSparseRadicals) {
+  Platform p = load_platform_text(
+      "<platform><AS id='a'><cluster prefix='n-' radical='0-1,5,7-8' "
+      "power='1G' bw='125MBps' lat='10us'/></AS></platform>");
+  EXPECT_EQ(p.host_count(), 5u);
+  EXPECT_TRUE(p.find_host("n-5").has_value());
+  EXPECT_FALSE(p.find_host("n-6").has_value());
+}
+
+TEST(PlatformFile, TwoClustersJoinAcrossWan) {
+  Platform p = load_platform_text(
+      "<platform><AS id='grid'>"
+      "<backbone bw='1.25E9' lat='5ms'/>"
+      "<cluster prefix='a-' radical='0-1' power='1G' bw='125M' lat='10us'/>"
+      "<cluster prefix='b-' radical='0-1' power='1G' bw='125M' lat='10us'/>"
+      "</AS></platform>");
+  const Route wan = p.route(p.host_by_name("a-0"), p.host_by_name("b-0"));
+  const Route local = p.route(p.host_by_name("a-0"), p.host_by_name("a-1"));
+  EXPECT_GT(wan.latency, 4e-3);
+  EXPECT_LT(local.latency, 1e-3);
+}
+
+TEST(PlatformFile, RejectsMalformedInput) {
+  EXPECT_THROW(load_platform_text("<notplatform/>"), tir::ParseError);
+  EXPECT_THROW(load_platform_text("<platform><AS id='x'/></platform>"),
+               tir::ParseError);
+  EXPECT_THROW(load_platform_text(
+                   "<platform><AS id='x'><cluster prefix='n' radical='3-1' "
+                   "power='1G' bw='1M' lat='1us'/></AS></platform>"),
+               tir::ParseError);
+}
+
+TEST(PlatformFile, ClusterToXmlRoundTrips) {
+  ClusterSpec spec = bordereau_spec(8);
+  const std::string xml = cluster_to_xml(spec, "AS_bordeaux");
+  const Platform p = load_platform_text(xml);
+  EXPECT_EQ(p.host_count(), 8u);
+  const HostId h = p.host_by_name("bordereau-0.bordeaux.grid5000.fr");
+  EXPECT_DOUBLE_EQ(p.host(h).power, 1.17e9);
+}
+
+TEST(Deployment, LoadsFigure6) {
+  const Deployment d = load_deployment_text(kFig6);
+  ASSERT_EQ(d.processes.size(), 4u);
+  EXPECT_EQ(d.processes[0].function, "p0");
+  EXPECT_EQ(d.processes[3].host, "mycluster-3.mysite.fr");
+}
+
+TEST(Deployment, ResolvesAgainstPlatform) {
+  const Platform p = load_platform_text(kFig5);
+  const Deployment d = load_deployment_text(kFig6);
+  const auto hosts = d.resolve(p);
+  ASSERT_EQ(hosts.size(), 4u);
+  EXPECT_EQ(p.host(hosts[2]).name, "mycluster-2.mysite.fr");
+}
+
+TEST(Deployment, ParsesPerProcessArguments) {
+  const Deployment d = load_deployment_text(
+      "<platform><process host='h' function='p1'>"
+      "<argument value='SG_process1.trace'/></process></platform>");
+  ASSERT_EQ(d.processes.size(), 1u);
+  ASSERT_EQ(d.processes[0].args.size(), 1u);
+  EXPECT_EQ(d.processes[0].args[0], "SG_process1.trace");
+}
+
+TEST(Deployment, BlockMappingFoldsProcesses) {
+  Platform p;
+  ClusterSpec spec;
+  spec.prefix = "n-";
+  spec.count = 4;
+  const auto hosts = build_cluster(p, spec);
+  const Deployment d = Deployment::block(p, hosts, 8);
+  ASSERT_EQ(d.processes.size(), 8u);
+  // Folding factor 2: p0, p1 on n-0; p2, p3 on n-1; ...
+  EXPECT_EQ(d.processes[0].host, "n-0");
+  EXPECT_EQ(d.processes[1].host, "n-0");
+  EXPECT_EQ(d.processes[2].host, "n-1");
+  EXPECT_EQ(d.processes[7].host, "n-3");
+}
+
+TEST(Deployment, RoundRobinMapping) {
+  Platform p;
+  ClusterSpec spec;
+  spec.prefix = "n-";
+  spec.count = 3;
+  const auto hosts = build_cluster(p, spec);
+  const Deployment d = Deployment::round_robin(p, hosts, 5);
+  EXPECT_EQ(d.processes[0].host, "n-0");
+  EXPECT_EQ(d.processes[3].host, "n-0");
+  EXPECT_EQ(d.processes[4].host, "n-1");
+}
+
+TEST(Deployment, ToXmlRoundTrips) {
+  Deployment d;
+  d.processes.push_back({"p0", "h0", {"SG_process0.trace"}});
+  d.processes.push_back({"p1", "h1", {}});
+  const Deployment back = load_deployment_text(d.to_xml());
+  ASSERT_EQ(back.processes.size(), 2u);
+  EXPECT_EQ(back.processes[0].args.at(0), "SG_process0.trace");
+  EXPECT_EQ(back.processes[1].host, "h1");
+}
+
+TEST(Deployment, EmptyDeploymentThrows) {
+  EXPECT_THROW(load_deployment_text("<platform/>"), tir::ParseError);
+}
+
+TEST(PlatformFile, ExplicitHostLinkRouteElements) {
+  // SimGrid's routing="Full" shape: hosts, links and explicit routes.
+  const Platform p = load_platform_text(R"(
+    <platform version="3">
+      <AS id="AS0" routing="Full">
+        <host id="alpha" power="2E9"/>
+        <host id="beta"  power="1E9"/>
+        <host id="gamma" power="1E9"/>
+        <link id="l1" bandwidth="1.25E8" latency="50us"/>
+        <link id="l2" bandwidth="2.5E8"  latency="10us"/>
+        <route src="alpha" dst="beta"><link_ctn id="l1"/></route>
+        <route src="beta" dst="gamma">
+          <link_ctn id="l1"/><link_ctn id="l2"/>
+        </route>
+      </AS>
+    </platform>)");
+  EXPECT_EQ(p.host_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.host(p.host_by_name("alpha")).power, 2e9);
+
+  const Route ab = p.route(p.host_by_name("alpha"), p.host_by_name("beta"));
+  ASSERT_EQ(ab.links.size(), 1u);
+  EXPECT_DOUBLE_EQ(ab.latency, 50e-6);
+
+  // Reverse direction mirrors the route.
+  const Route ba = p.route(p.host_by_name("beta"), p.host_by_name("alpha"));
+  EXPECT_EQ(ba.links.size(), 1u);
+
+  const Route bg = p.route(p.host_by_name("beta"), p.host_by_name("gamma"));
+  EXPECT_EQ(bg.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(bg.min_bandwidth, 1.25e8);
+
+  // No alpha<->gamma route was declared: explicit platforms do not fall
+  // back to tree routing.
+  EXPECT_THROW(p.route(p.host_by_name("alpha"), p.host_by_name("gamma")),
+               tir::Error);
+  // Self routes still use the loopback.
+  EXPECT_EQ(
+      p.route(p.host_by_name("alpha"), p.host_by_name("alpha")).links.size(),
+      1u);
+}
+
+TEST(PlatformFile, ExplicitPlatformRejectsBadInput) {
+  EXPECT_THROW(load_platform_text(
+                   "<platform><AS id='x'><host id='a' power='1E9'/>"
+                   "<route src='a' dst='a'/></AS></platform>"),
+               tir::ParseError);
+  EXPECT_THROW(load_platform_text(
+                   "<platform><AS id='x'><host id='a' power='1E9'/>"
+                   "<host id='b' power='1E9'/>"
+                   "<route src='a' dst='b'><link_ctn id='nope'/></route>"
+                   "</AS></platform>"),
+               tir::ParseError);
+  EXPECT_THROW(load_platform_text(
+                   "<platform><AS id='x'><link id='l' bandwidth='1E8'/>"
+                   "</AS></platform>"),
+               tir::ParseError);
+}
+
+TEST(PlatformFile, ExplicitPlatformDrivesTheEngine) {
+  const Platform p = load_platform_text(R"(
+    <platform version="3">
+      <AS id="AS0" routing="Full">
+        <host id="a" power="1E9"/>
+        <host id="b" power="1E9"/>
+        <link id="l" bandwidth="1E8" latency="0"/>
+        <route src="a" dst="b"><link_ctn id="l"/></route>
+      </AS>
+    </platform>)");
+  tir::sim::Engine engine(p);
+  double done = -1;
+  engine.spawn("s", 0, [&](tir::sim::Process&) -> tir::sim::Task {
+    co_await engine.wait(engine.transfer_async(0, 1, 1e8));
+    done = engine.now();
+  });
+  engine.run();
+  EXPECT_NEAR(done, 1e8 / (0.92 * 1e8), 1e-6);  // PWL segment-2 factor
+}

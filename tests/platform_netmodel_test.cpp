@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "platform/netmodel.hpp"
+#include "support/error.hpp"
+
+using namespace tir::plat;
+
+TEST(NetModel, DefaultSegmentBoundaries) {
+  const auto m = PiecewiseNetModel::default_cluster_model();
+  EXPECT_EQ(m.segment_index(0), 0);
+  EXPECT_EQ(m.segment_index(1023), 0);
+  EXPECT_EQ(m.segment_index(1024), 1);
+  EXPECT_EQ(m.segment_index(64 * 1024 - 1), 1);
+  EXPECT_EQ(m.segment_index(64 * 1024), 2);
+  EXPECT_EQ(m.segment_index(1 << 30), 2);
+}
+
+TEST(NetModel, HasEightParameters) {
+  // 2 boundaries + 3 * (latency factor, bandwidth factor) — paper §5.
+  const auto m = PiecewiseNetModel::default_cluster_model();
+  EXPECT_GT(m.small_limit(), 0u);
+  EXPECT_GT(m.large_limit(), m.small_limit());
+  for (const auto& seg : m.segments()) {
+    EXPECT_GT(seg.latency_factor, 0.0);
+    EXPECT_GT(seg.bandwidth_factor, 0.0);
+  }
+}
+
+TEST(NetModel, SmallMessagesAchieveHigherRate) {
+  // Paper §5: "a message under 1 KiB fits within an IP frame, in which case
+  // the achieved data transfer rate is higher than for larger messages."
+  const auto m = PiecewiseNetModel::default_cluster_model();
+  EXPECT_GT(m.classify(512).bandwidth_factor, m.classify(4096).bandwidth_factor);
+}
+
+TEST(NetModel, RendezvousCostsMoreLatency) {
+  const auto m = PiecewiseNetModel::default_cluster_model();
+  EXPECT_GT(m.classify(1 << 20).latency_factor,
+            m.classify(4096).latency_factor);
+}
+
+TEST(NetModel, CustomBoundariesClassify) {
+  const PiecewiseNetModel m(100, 1000,
+                            {NetSegment{1, 1}, NetSegment{2, 0.5},
+                             NetSegment{3, 0.9}});
+  EXPECT_DOUBLE_EQ(m.classify(99).latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(m.classify(100).latency_factor, 2.0);
+  EXPECT_DOUBLE_EQ(m.classify(1000).latency_factor, 3.0);
+}
+
+TEST(NetModel, RejectsBadParameters) {
+  EXPECT_THROW(PiecewiseNetModel(1000, 100,
+                                 {NetSegment{1, 1}, NetSegment{1, 1},
+                                  NetSegment{1, 1}}),
+               tir::Error);
+  EXPECT_THROW(PiecewiseNetModel(10, 100,
+                                 {NetSegment{0, 1}, NetSegment{1, 1},
+                                  NetSegment{1, 1}}),
+               tir::Error);
+  EXPECT_THROW(PiecewiseNetModel(10, 100,
+                                 {NetSegment{1, -2}, NetSegment{1, 1},
+                                  NetSegment{1, 1}}),
+               tir::Error);
+}
+
+TEST(NetModel, AffineModelIsFlat) {
+  const auto m = PiecewiseNetModel::affine_model();
+  for (const std::uint64_t size : {0ull, 100ull, 100000ull, 10000000ull}) {
+    EXPECT_DOUBLE_EQ(m.classify(size).latency_factor, 1.0);
+    EXPECT_DOUBLE_EQ(m.classify(size).bandwidth_factor, 1.0);
+  }
+}
+
+TEST(NetModel, DescribeMentionsAllSegments) {
+  const auto text = PiecewiseNetModel::default_cluster_model().describe();
+  EXPECT_NE(text.find("seg0"), std::string::npos);
+  EXPECT_NE(text.find("seg2"), std::string::npos);
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "platform/cluster.hpp"
+#include "platform/platform.hpp"
+#include "support/error.hpp"
+
+using namespace tir::plat;
+
+namespace {
+
+Platform one_cluster(int n) {
+  Platform p;
+  ClusterSpec spec;
+  spec.prefix = "c-";
+  spec.count = n;
+  spec.power = 1e9;
+  spec.bandwidth = 1.25e8;
+  spec.latency = 1e-5;
+  spec.backbone_bandwidth = 1.25e9;
+  spec.backbone_latency = 2e-5;
+  build_cluster(p, spec);
+  return p;
+}
+
+}  // namespace
+
+TEST(Routing, IntraClusterRouteIsThreeHops) {
+  // Paper §5: "two nodes in a compute cluster are generally connected
+  // through two links and one switch" — NIC + backbone + NIC.
+  const Platform p = one_cluster(4);
+  const Route r = p.route(0, 1);
+  EXPECT_EQ(r.links.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.latency, 1e-5 + 2e-5 + 1e-5);
+  EXPECT_DOUBLE_EQ(r.min_bandwidth, 1.25e8);
+}
+
+TEST(Routing, RouteIsSymmetric) {
+  const Platform p = one_cluster(8);
+  const Route ab = p.route(2, 5);
+  const Route ba = p.route(5, 2);
+  EXPECT_DOUBLE_EQ(ab.latency, ba.latency);
+  EXPECT_EQ(ab.links.size(), ba.links.size());
+}
+
+TEST(Routing, SelfRouteUsesLoopback) {
+  const Platform p = one_cluster(2);
+  const Route r = p.route(1, 1);
+  ASSERT_EQ(r.links.size(), 1u);
+  EXPECT_EQ(p.link(r.links[0]).name, p.host(1).name + "_loopback");
+}
+
+TEST(Routing, SelfRouteWithoutLoopbackIsEmpty) {
+  Platform p;
+  const auto j = p.add_junction("sw");
+  const auto l = p.add_link("nic", 1e9, 1e-6);
+  const auto h = p.add_host("solo", 1e9, j, l);
+  const Route r = p.route(h, h);
+  EXPECT_TRUE(r.links.empty());
+  EXPECT_DOUBLE_EQ(r.latency, 0.0);
+}
+
+TEST(Routing, BordereauMatchesPaperTopology) {
+  Platform p;
+  const auto hosts = build_bordereau(p, 93);
+  EXPECT_EQ(hosts.size(), 93u);
+  EXPECT_DOUBLE_EQ(p.host(hosts[0]).power, 1.17e9);
+  const Route r = p.route(hosts[0], hosts[92]);
+  EXPECT_EQ(r.links.size(), 3u);  // nic + 10GbE backbone + nic
+}
+
+TEST(Routing, GdxDistantCabinetsCrossThreeSwitches) {
+  Platform p;
+  GdxSpec spec;
+  const auto hosts = build_gdx(p, spec);
+  ASSERT_EQ(hosts.size(), 186u);
+  // Hosts 0 and 9 sit in cabinets 0 and 9: different pair-switches, so the
+  // path is nic, cab bb+uplink, pair bb+uplink, top bb, and down again.
+  const Route far = p.route(hosts[0], hosts[9]);
+  // Same cabinet (0 and 18 share cabinet 0 since cab = i % 18).
+  const Route near = p.route(hosts[0], hosts[18]);
+  EXPECT_GT(far.links.size(), near.links.size());
+  EXPECT_GT(far.latency, near.latency);
+  EXPECT_EQ(near.links.size(), 3u);  // nic + cabinet backbone + nic
+}
+
+TEST(Routing, GdxSameSwitchPairIsShorterThanDistant) {
+  Platform p;
+  const auto hosts = build_gdx(p, GdxSpec{});
+  // Cabinets 0 and 1 share a pair switch; cabinets 0 and 9 do not.
+  const Route pair = p.route(hosts[0], hosts[1]);
+  const Route far = p.route(hosts[0], hosts[9]);
+  EXPECT_LT(pair.links.size(), far.links.size());
+}
+
+TEST(Routing, TwoSitesCrossWan) {
+  Platform p;
+  const TwoSites sites = build_grid5000_two_sites(p, 16, GdxSpec{.nodes = 32});
+  const Route wan = p.route(sites.bordereau[0], sites.gdx[0]);
+  const Route local = p.route(sites.bordereau[0], sites.bordereau[1]);
+  EXPECT_GT(wan.latency, 4e-3);  // dominated by the 5 ms WAN
+  EXPECT_LT(local.latency, 1e-3);
+  EXPECT_GT(wan.links.size(), local.links.size());
+}
+
+TEST(Routing, UnknownHostNameThrows) {
+  const Platform p = one_cluster(2);
+  EXPECT_THROW(p.host_by_name("nope"), tir::Error);
+  EXPECT_FALSE(p.find_host("nope").has_value());
+  EXPECT_TRUE(p.find_host("c-0").has_value());
+}
+
+TEST(Routing, DuplicateHostNameThrows) {
+  Platform p;
+  const auto j = p.add_junction("sw");
+  const auto l = p.add_link("nic", 1e9, 0);
+  p.add_host("a", 1e9, j, l);
+  EXPECT_THROW(p.add_host("a", 1e9, j, l), tir::Error);
+}
+
+TEST(Routing, InvalidLinkParametersThrow) {
+  Platform p;
+  EXPECT_THROW(p.add_link("bad", 0.0, 0.0), tir::Error);
+  EXPECT_THROW(p.add_link("bad", -1.0, 0.0), tir::Error);
+  EXPECT_THROW(p.add_link("bad", 1e9, -1.0), tir::Error);
+}

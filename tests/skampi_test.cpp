@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "platform/cluster.hpp"
+#include "skampi/pingpong.hpp"
+#include "skampi/pwl_fit.hpp"
+#include "support/error.hpp"
+
+using namespace tir;
+using namespace tir::skampi;
+
+namespace {
+
+plat::Platform cluster_with(plat::PiecewiseNetModel model) {
+  plat::Platform p;
+  plat::ClusterSpec spec;
+  spec.prefix = "n-";
+  spec.count = 2;
+  spec.power = 1e9;
+  spec.bandwidth = 1.25e8;
+  spec.latency = 1e-5;
+  spec.backbone_bandwidth = 1.25e9;
+  spec.backbone_latency = 1e-5;
+  build_cluster(p, spec);
+  p.set_net_model(model);
+  return p;
+}
+
+constexpr std::uint64_t kNoRendezvous = 1ull << 40;
+
+}  // namespace
+
+TEST(Skampi, PingpongTimesGrowWithSize) {
+  const auto p = cluster_with(plat::PiecewiseNetModel::affine_model());
+  const auto points = run_pingpong(p, 0, 1, {1, 1024, 65536, 1 << 20});
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GT(points[i].round_trip, points[i - 1].round_trip);
+}
+
+TEST(Skampi, OneByteRoundTripIsSixLatencies) {
+  // 3 hops out + 3 hops back on an affine model (paper §5's "factor of six").
+  const auto p = cluster_with(plat::PiecewiseNetModel::affine_model());
+  const auto points = run_pingpong(p, 0, 1, {1}, kNoRendezvous);
+  EXPECT_NEAR(points[0].round_trip, 6e-5, 1e-7);
+  EXPECT_NEAR(estimate_link_latency(points, 3), 1e-5, 1e-7);
+}
+
+TEST(Skampi, LatencyEstimateRequiresOneByteProbe) {
+  const auto p = cluster_with(plat::PiecewiseNetModel::affine_model());
+  const auto points = run_pingpong(p, 0, 1, {8, 16});
+  EXPECT_THROW(estimate_link_latency(points, 3), tir::Error);
+  EXPECT_THROW(estimate_link_latency({}, 0), tir::Error);
+}
+
+TEST(Skampi, DefaultSizesCoverSegmentBoundaries) {
+  const auto sizes = default_sizes();
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_GE(sizes.back(), 4u << 20);
+  bool below_1k = false, mid = false, above_64k = false;
+  for (const auto s : sizes) {
+    below_1k |= s < 1024;
+    mid |= (s >= 1024 && s < 64 * 1024);
+    above_64k |= s >= 64 * 1024;
+  }
+  EXPECT_TRUE(below_1k && mid && above_64k);
+}
+
+TEST(Skampi, FitRecoversKnownModel) {
+  // Generate measurements on a platform with known correction factors and
+  // verify the best-fit recovers them.
+  const plat::PiecewiseNetModel truth(
+      1024, 64 * 1024,
+      {plat::NetSegment{1.0, 1.10}, plat::NetSegment{1.35, 0.75},
+       plat::NetSegment{2.50, 0.92}});
+  const auto p = cluster_with(truth);
+  const auto points = run_pingpong(p, 0, 1, default_sizes(), kNoRendezvous);
+  // Nominal route: 3 links of 1e-5 s; bottleneck 1.25e8 B/s.
+  const auto fit =
+      fit_piecewise_model(points, 3e-5, 1.25e8, 1024, 64 * 1024);
+  for (int seg = 0; seg < 3; ++seg) {
+    const auto& fitted = fit.model.segments()[static_cast<std::size_t>(seg)];
+    const auto& expected = truth.segments()[static_cast<std::size_t>(seg)];
+    EXPECT_NEAR(fitted.latency_factor, expected.latency_factor,
+                0.10 * expected.latency_factor)
+        << "segment " << seg;
+    EXPECT_NEAR(fitted.bandwidth_factor, expected.bandwidth_factor,
+                0.10 * expected.bandwidth_factor)
+        << "segment " << seg;
+  }
+}
+
+TEST(Skampi, BoundarySearchPrefersTrueBoundaries) {
+  const plat::PiecewiseNetModel truth(
+      2048, 32 * 1024,
+      {plat::NetSegment{1.0, 1.0}, plat::NetSegment{1.5, 0.6},
+       plat::NetSegment{2.0, 0.9}});
+  const auto p = cluster_with(truth);
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1; s <= (1u << 20); s *= 2) {
+    sizes.push_back(s);
+    sizes.push_back(s + s / 2);
+  }
+  const auto points = run_pingpong(p, 0, 1, sizes, kNoRendezvous);
+  const auto best = fit_piecewise_model_search(
+      points, 3e-5, 1.25e8, {512, 1024, 2048, 4096, 16384, 32768, 131072});
+  EXPECT_EQ(best.model.small_limit(), 2048u);
+  EXPECT_EQ(best.model.large_limit(), 32768u);
+}
+
+TEST(Skampi, FitValidatesInputs) {
+  EXPECT_THROW(fit_piecewise_model({}, 0.0, 1e8, 1024, 65536), tir::Error);
+  EXPECT_THROW(fit_piecewise_model_search({}, 1e-5, 1e8, {1024}), tir::Error);
+}
+
+TEST(Skampi, SparseSegmentsFallBackToNominal) {
+  const auto p = cluster_with(plat::PiecewiseNetModel::affine_model());
+  // Only large messages: the two lower segments have no data.
+  const auto points = run_pingpong(p, 0, 1, {1 << 20, 2 << 20, 4 << 20},
+                                   kNoRendezvous);
+  const auto fit = fit_piecewise_model(points, 3e-5, 1.25e8, 1024, 65536);
+  EXPECT_DOUBLE_EQ(fit.model.segments()[0].latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(fit.model.segments()[0].bandwidth_factor, 1.0);
+  EXPECT_NEAR(fit.model.segments()[2].bandwidth_factor, 1.0, 0.05);
+}

@@ -1,0 +1,51 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+using tir::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(9);
+  tir::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.uniform(2.0, 4.0));
+  EXPECT_GE(s.min(), 2.0);
+  EXPECT_LT(s.max(), 4.0);
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  tir::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NextBelowIsBounded) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}

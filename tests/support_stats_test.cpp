@@ -1,0 +1,61 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+using tir::RunningStats;
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(tir::relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(tir::relative_error(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(tir::relative_error(5.0, 0.0), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(tir::median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(tir::median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(tir::median({}), 0.0);
+}
+
+TEST(Stats, LeastSquaresRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 0.5 * i);
+  }
+  const auto fit = tir::least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-9);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-9);
+}
+
+TEST(Stats, LeastSquaresRejectsDegenerateInput) {
+  EXPECT_THROW(tir::least_squares({1.0}, {2.0}), tir::Error);
+  EXPECT_THROW(tir::least_squares({1.0, 1.0}, {2.0, 3.0}), tir::Error);
+}

@@ -1,0 +1,58 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ts = tir::str;
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(ts::trim("  hello  "), "hello");
+  EXPECT_EQ(ts::trim("\t\nx\r\n"), "x");
+  EXPECT_EQ(ts::trim(""), "");
+  EXPECT_EQ(ts::trim("   "), "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = ts::split_ws("p0 send p1 1e6");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "p0");
+  EXPECT_EQ(parts[1], "send");
+  EXPECT_EQ(parts[2], "p1");
+  EXPECT_EQ(parts[3], "1e6");
+}
+
+TEST(Strings, SplitWhitespaceCollapsesRuns) {
+  const auto parts = ts::split_ws("  a\t\tb  \n c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = ts::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(ts::starts_with("tautrace.0.0.0.trc", "tautrace."));
+  EXPECT_TRUE(ts::ends_with("tautrace.0.0.0.trc", ".trc"));
+  EXPECT_FALSE(ts::starts_with("x", "xy"));
+}
+
+TEST(Strings, ToDouble) {
+  EXPECT_DOUBLE_EQ(ts::to_double("1e6"), 1e6);
+  EXPECT_DOUBLE_EQ(ts::to_double(" 3.5 "), 3.5);
+  EXPECT_THROW(ts::to_double("1e6x"), tir::ParseError);
+  EXPECT_THROW(ts::to_double(""), tir::ParseError);
+}
+
+TEST(Strings, ToInt) {
+  EXPECT_EQ(ts::to_int("42"), 42);
+  EXPECT_EQ(ts::to_int("-7"), -7);
+  EXPECT_THROW(ts::to_int("4.2"), tir::ParseError);
+}
+
+TEST(Strings, Lower) { EXPECT_EQ(ts::lower("KiB"), "kib"); }

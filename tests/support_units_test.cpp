@@ -1,0 +1,79 @@
+#include "support/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tu = tir::units;
+
+TEST(Units, ParsesBareNumbers) {
+  EXPECT_DOUBLE_EQ(tu::parse_value("1.17E9"), 1.17e9);
+  EXPECT_DOUBLE_EQ(tu::parse_value("1.25E8"), 1.25e8);
+  EXPECT_DOUBLE_EQ(tu::parse_value("0"), 0.0);
+  EXPECT_DOUBLE_EQ(tu::parse_value("  42 "), 42.0);
+}
+
+TEST(Units, ParsesSiSuffixes) {
+  EXPECT_DOUBLE_EQ(tu::parse_value("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(tu::parse_value("2.5G"), 2.5e9);
+  EXPECT_DOUBLE_EQ(tu::parse_value("2.5Gf"), 2.5e9);
+  EXPECT_DOUBLE_EQ(tu::parse_value("10Gbps"), 10e9);
+  EXPECT_DOUBLE_EQ(tu::parse_value("3T"), 3e12);
+}
+
+TEST(Units, ParsesIecSuffixes) {
+  EXPECT_DOUBLE_EQ(tu::parse_value("1KiB"), 1024.0);
+  EXPECT_DOUBLE_EQ(tu::parse_value("64KiB"), 65536.0);
+  EXPECT_DOUBLE_EQ(tu::parse_value("1MiB"), 1048576.0);
+  EXPECT_DOUBLE_EQ(tu::parse_value("1.5GiB"), 1.5 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, IecBeforeSi) {
+  // "Ki" must not be parsed as SI "k" followed by junk.
+  EXPECT_DOUBLE_EQ(tu::parse_value("2Ki"), 2048.0);
+  EXPECT_DOUBLE_EQ(tu::parse_value("2k"), 2000.0);
+}
+
+TEST(Units, RejectsGarbage) {
+  EXPECT_THROW(tu::parse_value(""), tir::ParseError);
+  EXPECT_THROW(tu::parse_value("abc"), tir::ParseError);
+  EXPECT_THROW(tu::parse_value("1.2.3"), tir::ParseError);
+}
+
+TEST(Units, ParsesDurations) {
+  EXPECT_DOUBLE_EQ(tu::parse_duration("16.67E-6"), 16.67e-6);
+  EXPECT_DOUBLE_EQ(tu::parse_duration("5ms"), 5e-3);
+  EXPECT_DOUBLE_EQ(tu::parse_duration("50us"), 50e-6);
+  EXPECT_DOUBLE_EQ(tu::parse_duration("3ns"), 3e-9);
+  EXPECT_DOUBLE_EQ(tu::parse_duration("2s"), 2.0);
+  EXPECT_THROW(tu::parse_duration("5min"), tir::ParseError);
+}
+
+TEST(Units, ParsesByteCounts) {
+  EXPECT_EQ(tu::parse_bytes("163840"), 163840u);
+  EXPECT_EQ(tu::parse_bytes("64KiB"), 65536u);
+  EXPECT_THROW(tu::parse_bytes("-3"), tir::ParseError);
+}
+
+TEST(Units, FormatsBytes) {
+  EXPECT_EQ(tu::format_bytes(512), "512 B");
+  EXPECT_EQ(tu::format_bytes(2048), "2 KiB");
+  EXPECT_EQ(tu::format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+TEST(Units, FormatsDurations) {
+  EXPECT_EQ(tu::format_duration(12.3), "12.3 s");
+  EXPECT_EQ(tu::format_duration(4.56e-3), "4.56 ms");
+  EXPECT_EQ(tu::format_duration(7.89e-7), "789 ns");
+}
+
+TEST(Units, VolumeRoundTripsIntegers) {
+  EXPECT_EQ(tu::format_volume(1e6), "1000000");
+  EXPECT_EQ(tu::format_volume(163840), "163840");
+  EXPECT_EQ(tu::format_volume(0), "0");
+}
+
+TEST(Units, VolumeRoundTripsFractions) {
+  const double v = 1234.5678;
+  EXPECT_DOUBLE_EQ(tu::parse_value(tu::format_volume(v)), v);
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "support/error.hpp"
+#include "tau/tau_reader.hpp"
+#include "tau/tau_writer.hpp"
+
+using namespace tir::tau;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TauFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tir_tau_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST(TauPack, MessageRoundTrip) {
+  const std::int64_t packed = pack_message(1023, 77, 163840);
+  int partner, tag;
+  std::uint64_t bytes;
+  unpack_message(packed, partner, tag, bytes);
+  EXPECT_EQ(partner, 1023);
+  EXPECT_EQ(tag, 77);
+  EXPECT_EQ(bytes, 163840u);
+}
+
+TEST(TauPack, RejectsOutOfRangeFields) {
+  EXPECT_THROW(pack_message(-1, 0, 0), tir::Error);
+  EXPECT_THROW(pack_message(70000, 0, 0), tir::Error);
+  EXPECT_THROW(pack_message(0, -1, 0), tir::Error);
+  EXPECT_THROW(pack_message(0, 0, 5ull << 32), tir::Error);
+}
+
+TEST(TauPack, FileNamesMatchTauConvention) {
+  EXPECT_EQ(trc_file_name(7), "tautrace.7.0.0.trc");
+  EXPECT_EQ(edf_file_name(7), "events.7.edf");
+}
+
+TEST_F(TauFormatTest, WriteReadRoundTrip) {
+  TauTraceWriter writer(dir_, 3);
+  const int fp = writer.define_trigger("TAUEVENT", "PAPI_FP_OPS");
+  const int send = writer.define_state("MPI", "MPI_Send() ");
+  writer.enter(send, 100);
+  writer.trigger(fp, 101, 164035532);
+  writer.send_message(102, 0, 163840, 1);
+  writer.trigger(fp, 103, 164035624);
+  writer.leave(send, 104);
+  const auto bytes = writer.close();
+  EXPECT_GT(bytes, 0u);
+
+  struct Seen {
+    std::vector<std::string> events;
+  } seen;
+  Callbacks cb;
+  cb.enter_state = [&](int nid, int, std::uint64_t t, int) {
+    EXPECT_EQ(nid, 3);
+    EXPECT_EQ(t, 100u);
+    seen.events.push_back("enter");
+  };
+  cb.leave_state = [&](int, int, std::uint64_t t, int) {
+    EXPECT_EQ(t, 104u);
+    seen.events.push_back("leave");
+  };
+  cb.event_trigger = [&](int, int, std::uint64_t, int, std::int64_t value) {
+    seen.events.push_back("trigger:" + std::to_string(value));
+  };
+  cb.send_message = [&](int, int, std::uint64_t, int dst, std::uint64_t size,
+                        int tag) {
+    EXPECT_EQ(dst, 0);
+    EXPECT_EQ(size, 163840u);
+    EXPECT_EQ(tag, 1);
+    seen.events.push_back("send");
+  };
+  const auto records = process_trace(writer.trc_path(), writer.edf_path(), cb);
+  EXPECT_EQ(records, 5u);
+  const std::vector<std::string> expected{
+      "enter", "trigger:164035532", "send", "trigger:164035624", "leave"};
+  EXPECT_EQ(seen.events, expected);
+}
+
+TEST_F(TauFormatTest, EdfFileHasTauShape) {
+  TauTraceWriter writer(dir_, 0);
+  writer.define_trigger("TAUEVENT", "PAPI_FP_OPS");
+  writer.define_state("MPI", "MPI_Send() ");
+  writer.close();
+  const auto defs = read_event_file(writer.edf_path());
+  // 2 reserved message events + the 2 defined ones.
+  EXPECT_EQ(defs.size(), 4u);
+  bool found_send = false;
+  for (const auto& [id, def] : defs) {
+    if (def.name == "MPI_Send() ") {
+      EXPECT_EQ(def.group, "MPI");
+      EXPECT_EQ(def.kind, EventKind::entry_exit);
+      found_send = true;
+    }
+  }
+  EXPECT_TRUE(found_send);
+}
+
+TEST_F(TauFormatTest, ReaderRejectsCorruptInputs) {
+  EXPECT_THROW(read_event_file(dir_ / "missing.edf"), tir::IoError);
+  // Truncated trc: write a writer then append garbage.
+  TauTraceWriter writer(dir_, 1);
+  writer.define_state("MPI", "MPI_Barrier() ");
+  writer.close();
+  {
+    std::ofstream out(writer.trc_path(), std::ios::app | std::ios::binary);
+    out << "xyz";  // 3 stray bytes
+  }
+  Callbacks cb;
+  EXPECT_THROW(process_trace(writer.trc_path(), writer.edf_path(), cb),
+               tir::ParseError);
+}
+
+TEST_F(TauFormatTest, UndefinedEventIdThrows) {
+  TauTraceWriter writer(dir_, 2);
+  const int ev = writer.define_state("MPI", "MPI_Send() ");
+  writer.enter(ev + 100, 1);  // never defined
+  writer.close();
+  Callbacks cb;
+  EXPECT_THROW(process_trace(writer.trc_path(), writer.edf_path(), cb),
+               tir::ParseError);
+}
+
+TEST_F(TauFormatTest, RecordsWrittenCountsEverything) {
+  TauTraceWriter writer(dir_, 0);
+  const int ev = writer.define_state("APP", "f");
+  for (int i = 0; i < 10; ++i) {
+    writer.enter(ev, static_cast<std::uint64_t>(i));
+    writer.leave(ev, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(writer.records_written(), 20u);
+}

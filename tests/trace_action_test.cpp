@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "trace/action.hpp"
+
+using namespace tir::trace;
+
+TEST(Action, Figure1LinesParse) {
+  // The exact right-hand side of the paper's Figure 1.
+  const Action c = parse_line("p0 compute 1e6");
+  EXPECT_EQ(c.pid, 0);
+  EXPECT_EQ(c.type, ActionType::compute);
+  EXPECT_DOUBLE_EQ(c.volume, 1e6);
+
+  const Action s = parse_line("p0 send p1 1e6");
+  EXPECT_EQ(s.type, ActionType::send);
+  EXPECT_EQ(s.partner, 1);
+  EXPECT_DOUBLE_EQ(s.volume, 1e6);
+
+  const Action r = parse_line("p0 recv p3");
+  EXPECT_EQ(r.type, ActionType::recv);
+  EXPECT_EQ(r.partner, 3);
+  EXPECT_DOUBLE_EQ(r.volume, 0.0);  // volume omitted, as in the figure
+}
+
+TEST(Action, Section43ExampleParses) {
+  // "p1 send p0 163840" — the tau2simgrid output example of §4.3.
+  const Action a = parse_line("p1 send p0 163840");
+  EXPECT_EQ(a.pid, 1);
+  EXPECT_EQ(a.partner, 0);
+  EXPECT_DOUBLE_EQ(a.volume, 163840);
+}
+
+TEST(Action, AllTable1FormsRoundTrip) {
+  const char* lines[] = {
+      "p0 compute 500000",      "p1 send p2 163840",
+      "p1 Isend p2 163840",     "p2 recv p1 163840",
+      "p2 Irecv p1 163840",     "p0 bcast 4096",
+      "p3 reduce 4096 100000",  "p3 allReduce 4096 100000",
+      "p4 barrier",             "p4 comm_size 8",
+      "p5 wait",
+  };
+  for (const char* line : lines) {
+    const Action a = parse_line(line);
+    EXPECT_EQ(to_line(a), line) << "for input: " << line;
+    // Parsing the rendered line yields the same action.
+    EXPECT_EQ(parse_line(to_line(a)), a);
+  }
+}
+
+TEST(Action, KeywordsAreCaseInsensitiveOnInput) {
+  EXPECT_EQ(parse_line("p0 ISEND p1 10").type, ActionType::isend);
+  EXPECT_EQ(parse_line("p0 allreduce 1 2").type, ActionType::allreduce);
+  EXPECT_EQ(parse_line("p0 COMPUTE 5").type, ActionType::compute);
+}
+
+TEST(Action, PidAcceptsBareIntegers) {
+  EXPECT_EQ(parse_line("7 compute 1").pid, 7);
+  EXPECT_EQ(parse_line("7 send 9 1").partner, 9);
+}
+
+TEST(Action, RejectsMalformedLines) {
+  EXPECT_THROW(parse_line(""), tir::ParseError);
+  EXPECT_THROW(parse_line("p0"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 teleport 5"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 compute"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 compute 1 2"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 send p1"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 send p1 1e6 extra"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 reduce 5"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 barrier now"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 compute -5"), tir::ParseError);
+  EXPECT_THROW(parse_line("p-1 compute 5"), tir::ParseError);
+  EXPECT_THROW(parse_line("p0 wait 3"), tir::ParseError);
+}
+
+TEST(Action, VeryLargeIntegralVolumesSurvive) {
+  const Action a = parse_line("p0 compute 123456789012345");
+  EXPECT_EQ(to_line(a), "p0 compute 123456789012345");
+}

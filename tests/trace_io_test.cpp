@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "trace/binary_format.hpp"
+#include "trace/text_format.hpp"
+#include "trace/trace_set.hpp"
+
+using namespace tir::trace;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tir_trace_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+std::vector<std::vector<Action>> ring_actions() {
+  // The paper's Figure 1 trace for 4 processes.
+  std::vector<std::vector<Action>> per(4);
+  for (int p = 0; p < 4; ++p) {
+    per[static_cast<std::size_t>(p)] = {
+        {p, ActionType::compute, -1, 1e6, 0, 0},
+        {p, ActionType::send, (p + 1) % 4, 1e6, 0, 0},
+        {p, ActionType::recv, (p + 3) % 4, 0, 0, 0},
+    };
+  }
+  return per;
+}
+
+}  // namespace
+
+TEST_F(TraceIoTest, SplitWriteReadRoundTrip) {
+  const auto actions = ring_actions();
+  const auto paths = write_split_traces(dir_, actions);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0].filename(), "SG_process0.trace");
+  for (int p = 0; p < 4; ++p) {
+    const auto back = read_all(paths[static_cast<std::size_t>(p)]);
+    EXPECT_EQ(back, actions[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST_F(TraceIoTest, MergedWriteReadWithFilter) {
+  const auto actions = ring_actions();
+  const auto file = dir_ / "merged.trace";
+  write_merged_trace(file, actions);
+  for (int p = 0; p < 4; ++p) {
+    const auto back = read_all(file, p);
+    EXPECT_EQ(back, actions[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_EQ(read_all(file).size(), 12u);
+}
+
+TEST_F(TraceIoTest, ReaderSkipsCommentsAndBlankLines) {
+  const auto file = dir_ / "annotated.trace";
+  std::ofstream(file) << "# header comment\n\n  \np0 compute 5\n"
+                      << "# middle\np0 barrier\n";
+  const auto actions = read_all(file);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[1].type, ActionType::barrier);
+}
+
+TEST_F(TraceIoTest, ParseErrorCarriesLineNumber) {
+  const auto file = dir_ / "bad.trace";
+  std::ofstream(file) << "p0 compute 5\np0 warp 9\n";
+  try {
+    read_all(file);
+    FAIL() << "expected ParseError";
+  } catch (const tir::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(TextTraceReader(dir_ / "nope.trace"), tir::IoError);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripPerProcess) {
+  const auto actions = ring_actions()[1];
+  const auto file = dir_ / "p1.btrace";
+  {
+    BinaryTraceWriter writer(file, 1);
+    for (const Action& a : actions) writer.write(a);
+    EXPECT_GT(writer.close(), 0u);
+  }
+  EXPECT_TRUE(is_binary_trace(file));
+  BinaryTraceReader reader(file);
+  std::vector<Action> back;
+  while (auto a = reader.next()) back.push_back(*a);
+  EXPECT_EQ(back, actions);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripMixedPidsAndDoubles) {
+  std::vector<Action> actions = {
+      {0, ActionType::compute, -1, 1234.5678, 0, 0},
+      {3, ActionType::reduce, -1, 4096, 99.5, 0},
+      {200, ActionType::send, 199, 1e15, 0, 0},
+      {1, ActionType::comm_size, -1, 0, 0, 64},
+      {1, ActionType::wait, -1, 0, 0, 0},
+  };
+  const auto file = dir_ / "mixed.btrace";
+  {
+    BinaryTraceWriter writer(file, -1);
+    for (const Action& a : actions) writer.write(a);
+  }
+  BinaryTraceReader reader(file);
+  std::vector<Action> back;
+  while (auto a = reader.next()) back.push_back(*a);
+  EXPECT_EQ(back, actions);
+}
+
+TEST_F(TraceIoTest, BinaryIsSmallerThanText) {
+  // Paper future work: "reduce the size of the traces, e.g., using a binary
+  // format". Verify the claimed benefit on a realistic action mix.
+  std::vector<Action> actions;
+  for (int i = 0; i < 2000; ++i) {
+    actions.push_back({7, ActionType::compute, -1, 1e6 + i, 0, 0});
+    actions.push_back({7, ActionType::send, (i % 63), 163840, 0, 0});
+    actions.push_back({7, ActionType::recv, (i % 63), 163840, 0, 0});
+  }
+  const auto text_file = dir_ / "t.trace";
+  const auto bin_file = dir_ / "t.btrace";
+  {
+    TextTraceWriter w(text_file);
+    for (const Action& a : actions) w.write(a);
+  }
+  {
+    BinaryTraceWriter w(bin_file, 7);
+    for (const Action& a : actions) w.write(a);
+  }
+  const auto text_size = fs::file_size(text_file);
+  const auto bin_size = fs::file_size(bin_file);
+  EXPECT_LT(bin_size * 2, text_size);  // at least 2x smaller
+}
+
+TEST_F(TraceIoTest, TextBinaryConvertersAgree) {
+  const auto actions = ring_actions();
+  const auto text_file = dir_ / "orig.trace";
+  write_merged_trace(text_file, actions);
+  const auto bin_file = dir_ / "conv.btrace";
+  const auto text_back = dir_ / "back.trace";
+  text_to_binary(text_file, bin_file);
+  binary_to_text(bin_file, text_back);
+  EXPECT_EQ(read_all(text_back), read_all(text_file));
+}
+
+TEST_F(TraceIoTest, CorruptBinaryThrows) {
+  const auto file = dir_ / "corrupt.btrace";
+  std::ofstream(file, std::ios::binary) << "TIRB" << '\x01' << '\x00'
+                                        << '\x0F';  // bogus tag 15
+  BinaryTraceReader reader(file);
+  EXPECT_THROW(reader.next(), tir::ParseError);
+}
+
+TEST_F(TraceIoTest, TraceSetSplitLayout) {
+  const auto actions = ring_actions();
+  const auto paths = write_split_traces(dir_, actions);
+  const TraceSet set = TraceSet::per_process_files(paths);
+  EXPECT_EQ(set.nprocs(), 4);
+  auto src = set.open(2);
+  const auto first = src->next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->pid, 2);
+  EXPECT_GT(set.disk_bytes(), 0u);
+}
+
+TEST_F(TraceIoTest, TraceSetMergedLayout) {
+  const auto actions = ring_actions();
+  const auto file = dir_ / "merged.trace";
+  write_merged_trace(file, actions);
+  const TraceSet set = TraceSet::merged_file(file, 4);
+  for (int p = 0; p < 4; ++p) {
+    auto src = set.open(p);
+    int count = 0;
+    while (auto a = src->next()) {
+      EXPECT_EQ(a->pid, p);
+      ++count;
+    }
+    EXPECT_EQ(count, 3);
+  }
+}
+
+TEST_F(TraceIoTest, TraceSetStats) {
+  const TraceSet set = TraceSet::in_memory(ring_actions());
+  const TraceStats stats = set.stats();
+  EXPECT_EQ(stats.actions, 12u);
+  EXPECT_EQ(stats.computes, 4u);
+  EXPECT_EQ(stats.p2p_messages, 4u);
+  EXPECT_DOUBLE_EQ(stats.total_flops, 4e6);
+  EXPECT_DOUBLE_EQ(stats.total_bytes_sent, 4e6);
+}
+
+TEST_F(TraceIoTest, TraceSetValidatesArguments) {
+  EXPECT_THROW(TraceSet::per_process_files({}), tir::Error);
+  EXPECT_THROW(TraceSet::in_memory({}), tir::Error);
+  EXPECT_THROW(TraceSet::merged_file("x", 0), tir::Error);
+  const TraceSet set = TraceSet::in_memory(ring_actions());
+  EXPECT_THROW(set.open(-1), tir::Error);
+  EXPECT_THROW(set.open(4), tir::Error);
+}
+
+TEST_F(TraceIoTest, TraceSetAutoDetectsBinaryFiles) {
+  const auto actions = ring_actions();
+  std::vector<fs::path> paths;
+  for (int p = 0; p < 4; ++p) {
+    const auto path = dir_ / ("SG_process" + std::to_string(p) + ".btrace");
+    BinaryTraceWriter writer(path, p);
+    for (const Action& a : actions[static_cast<std::size_t>(p)])
+      writer.write(a);
+    writer.close();
+    paths.push_back(path);
+  }
+  const TraceSet set = TraceSet::per_process_files(paths);
+  EXPECT_EQ(set.stats().actions, 12u);
+}

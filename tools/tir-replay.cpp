@@ -1,0 +1,107 @@
+// tir-replay — the Figure 4 workflow as a command-line tool.
+//
+// Usage:
+//   tir-replay --platform platform.xml --deployment deployment.xml ...
+//              trace0 trace1 ... [options]
+//
+// Options:
+//   --eager-threshold BYTES   eager/rendezvous switch (default 64KiB)
+//   --collectives flat|binomial
+//   --timed-trace FILE        also write the timed trace
+//   --profile                 print a per-action profile
+//   --efficiency X            compute-rate scale (default 1.0)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "replay/replayer.hpp"
+#include "replay/timed_trace.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+using namespace tir;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --platform FILE --deployment FILE TRACE... \n"
+               "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
+               "  [--timed-trace FILE] [--profile] [--efficiency X]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string platform_file, deployment_file, timed_file;
+  std::vector<std::filesystem::path> traces;
+  replay::ReplayConfig config;
+  bool want_profile = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--platform") {
+      platform_file = next();
+    } else if (arg == "--deployment") {
+      deployment_file = next();
+    } else if (arg == "--eager-threshold") {
+      config.mpi.eager_threshold = units::parse_bytes(next());
+    } else if (arg == "--collectives") {
+      const std::string algo = next();
+      if (algo == "flat") {
+        config.mpi.collectives = mpi::CollectiveAlgo::flat;
+      } else if (algo == "binomial") {
+        config.mpi.collectives = mpi::CollectiveAlgo::binomial;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--timed-trace") {
+      timed_file = next();
+      config.record_timed_trace = true;
+    } else if (arg == "--profile") {
+      want_profile = true;
+      config.record_timed_trace = true;
+    } else if (arg == "--efficiency") {
+      config.compute_efficiency = std::stod(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    } else {
+      traces.emplace_back(arg);
+    }
+  }
+  if (platform_file.empty() || deployment_file.empty() || traces.empty())
+    usage(argv[0]);
+
+  try {
+    const auto result =
+        replay::replay_files(platform_file, deployment_file, traces, config);
+    std::printf("processes:        %zu\n", traces.size());
+    std::printf("actions replayed: %llu\n",
+                static_cast<unsigned long long>(result.actions_replayed));
+    std::printf("simulated time:   %.6f s\n", result.simulated_time);
+    if (!timed_file.empty()) {
+      replay::write_timed_trace(result.timed_trace, timed_file);
+      std::printf("timed trace:      %s (%zu rows)\n", timed_file.c_str(),
+                  result.timed_trace.size());
+    }
+    if (want_profile) {
+      const auto profile =
+          replay::Profile::from_timed_trace(result.timed_trace);
+      std::printf("\n%s", profile.render().c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tir-replay: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
