@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_netmodel.dir/bench_ablation_netmodel.cpp.o"
+  "CMakeFiles/bench_ablation_netmodel.dir/bench_ablation_netmodel.cpp.o.d"
+  "bench_ablation_netmodel"
+  "bench_ablation_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

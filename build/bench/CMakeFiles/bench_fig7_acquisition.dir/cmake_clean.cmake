@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_acquisition.dir/bench_fig7_acquisition.cpp.o"
+  "CMakeFiles/bench_fig7_acquisition.dir/bench_fig7_acquisition.cpp.o.d"
+  "bench_fig7_acquisition"
+  "bench_fig7_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_replaytime.dir/bench_fig9_replaytime.cpp.o"
+  "CMakeFiles/bench_fig9_replaytime.dir/bench_fig9_replaytime.cpp.o.d"
+  "bench_fig9_replaytime"
+  "bench_fig9_replaytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_replaytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_trace.dir/bench_large_trace.cpp.o"
+  "CMakeFiles/bench_large_trace.dir/bench_large_trace.cpp.o.d"
+  "bench_large_trace"
+  "bench_large_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_dimensioning.dir/lu_dimensioning.cpp.o"
+  "CMakeFiles/lu_dimensioning.dir/lu_dimensioning.cpp.o.d"
+  "lu_dimensioning"
+  "lu_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_scattering.dir/stencil_scattering.cpp.o"
+  "CMakeFiles/stencil_scattering.dir/stencil_scattering.cpp.o.d"
+  "stencil_scattering"
+  "stencil_scattering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_scattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

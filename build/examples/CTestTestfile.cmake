@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "/root/repo/build/examples/quickstart_work")
+set_tests_properties(example_quickstart PROPERTIES  FIXTURES_SETUP "quickstart_output" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lu_dimensioning "/root/repo/build/examples/lu_dimensioning" "/root/repo/build/examples/dimensioning_work")
+set_tests_properties(example_lu_dimensioning PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_whatif_scenarios "/root/repo/build/examples/whatif_scenarios" "/root/repo/build/examples/whatif_work")
+set_tests_properties(example_whatif_scenarios PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil_scattering "/root/repo/build/examples/stencil_scattering" "/root/repo/build/examples/scatter_work")
+set_tests_properties(example_stencil_scattering PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

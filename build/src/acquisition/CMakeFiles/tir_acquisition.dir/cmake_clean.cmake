@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_acquisition.dir/acquisition.cpp.o"
+  "CMakeFiles/tir_acquisition.dir/acquisition.cpp.o.d"
+  "CMakeFiles/tir_acquisition.dir/gather.cpp.o"
+  "CMakeFiles/tir_acquisition.dir/gather.cpp.o.d"
+  "CMakeFiles/tir_acquisition.dir/instrumented.cpp.o"
+  "CMakeFiles/tir_acquisition.dir/instrumented.cpp.o.d"
+  "CMakeFiles/tir_acquisition.dir/tau2ti.cpp.o"
+  "CMakeFiles/tir_acquisition.dir/tau2ti.cpp.o.d"
+  "libtir_acquisition.a"
+  "libtir_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_apps.dir/lu.cpp.o"
+  "CMakeFiles/tir_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/npb_extra.cpp.o"
+  "CMakeFiles/tir_apps.dir/npb_extra.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/ring.cpp.o"
+  "CMakeFiles/tir_apps.dir/ring.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/stencil.cpp.o"
+  "CMakeFiles/tir_apps.dir/stencil.cpp.o.d"
+  "libtir_apps.a"
+  "libtir_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

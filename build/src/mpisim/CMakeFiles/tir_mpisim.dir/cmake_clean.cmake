@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_mpisim.dir/collectives.cpp.o"
+  "CMakeFiles/tir_mpisim.dir/collectives.cpp.o.d"
+  "CMakeFiles/tir_mpisim.dir/rank.cpp.o"
+  "CMakeFiles/tir_mpisim.dir/rank.cpp.o.d"
+  "CMakeFiles/tir_mpisim.dir/world.cpp.o"
+  "CMakeFiles/tir_mpisim.dir/world.cpp.o.d"
+  "libtir_mpisim.a"
+  "libtir_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

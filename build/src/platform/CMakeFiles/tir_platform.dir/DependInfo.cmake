@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cluster.cpp" "src/platform/CMakeFiles/tir_platform.dir/cluster.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/cluster.cpp.o.d"
+  "/root/repo/src/platform/deployment.cpp" "src/platform/CMakeFiles/tir_platform.dir/deployment.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/deployment.cpp.o.d"
+  "/root/repo/src/platform/netmodel.cpp" "src/platform/CMakeFiles/tir_platform.dir/netmodel.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/netmodel.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/platform/CMakeFiles/tir_platform.dir/platform.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/platform.cpp.o.d"
+  "/root/repo/src/platform/platform_file.cpp" "src/platform/CMakeFiles/tir_platform.dir/platform_file.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/platform_file.cpp.o.d"
+  "/root/repo/src/platform/xml.cpp" "src/platform/CMakeFiles/tir_platform.dir/xml.cpp.o" "gcc" "src/platform/CMakeFiles/tir_platform.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

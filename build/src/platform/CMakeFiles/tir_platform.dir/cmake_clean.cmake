@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_platform.dir/cluster.cpp.o"
+  "CMakeFiles/tir_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/deployment.cpp.o"
+  "CMakeFiles/tir_platform.dir/deployment.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/netmodel.cpp.o"
+  "CMakeFiles/tir_platform.dir/netmodel.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/platform.cpp.o"
+  "CMakeFiles/tir_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/platform_file.cpp.o"
+  "CMakeFiles/tir_platform.dir/platform_file.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/xml.cpp.o"
+  "CMakeFiles/tir_platform.dir/xml.cpp.o.d"
+  "libtir_platform.a"
+  "libtir_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_replay.dir/calibration.cpp.o"
+  "CMakeFiles/tir_replay.dir/calibration.cpp.o.d"
+  "CMakeFiles/tir_replay.dir/registry.cpp.o"
+  "CMakeFiles/tir_replay.dir/registry.cpp.o.d"
+  "CMakeFiles/tir_replay.dir/replayer.cpp.o"
+  "CMakeFiles/tir_replay.dir/replayer.cpp.o.d"
+  "CMakeFiles/tir_replay.dir/timed_trace.cpp.o"
+  "CMakeFiles/tir_replay.dir/timed_trace.cpp.o.d"
+  "libtir_replay.a"
+  "libtir_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkern/activity.cpp" "src/simkern/CMakeFiles/tir_simkern.dir/activity.cpp.o" "gcc" "src/simkern/CMakeFiles/tir_simkern.dir/activity.cpp.o.d"
+  "/root/repo/src/simkern/engine.cpp" "src/simkern/CMakeFiles/tir_simkern.dir/engine.cpp.o" "gcc" "src/simkern/CMakeFiles/tir_simkern.dir/engine.cpp.o.d"
+  "/root/repo/src/simkern/maxmin.cpp" "src/simkern/CMakeFiles/tir_simkern.dir/maxmin.cpp.o" "gcc" "src/simkern/CMakeFiles/tir_simkern.dir/maxmin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tir_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tir_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_simkern.dir/activity.cpp.o"
+  "CMakeFiles/tir_simkern.dir/activity.cpp.o.d"
+  "CMakeFiles/tir_simkern.dir/engine.cpp.o"
+  "CMakeFiles/tir_simkern.dir/engine.cpp.o.d"
+  "CMakeFiles/tir_simkern.dir/maxmin.cpp.o"
+  "CMakeFiles/tir_simkern.dir/maxmin.cpp.o.d"
+  "libtir_simkern.a"
+  "libtir_simkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_simkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

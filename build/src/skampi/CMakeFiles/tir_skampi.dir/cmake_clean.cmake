@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_skampi.dir/pingpong.cpp.o"
+  "CMakeFiles/tir_skampi.dir/pingpong.cpp.o.d"
+  "CMakeFiles/tir_skampi.dir/pwl_fit.cpp.o"
+  "CMakeFiles/tir_skampi.dir/pwl_fit.cpp.o.d"
+  "libtir_skampi.a"
+  "libtir_skampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_skampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

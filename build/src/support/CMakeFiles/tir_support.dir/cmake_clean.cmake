@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_support.dir/error.cpp.o"
+  "CMakeFiles/tir_support.dir/error.cpp.o.d"
+  "CMakeFiles/tir_support.dir/log.cpp.o"
+  "CMakeFiles/tir_support.dir/log.cpp.o.d"
+  "CMakeFiles/tir_support.dir/rng.cpp.o"
+  "CMakeFiles/tir_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tir_support.dir/stats.cpp.o"
+  "CMakeFiles/tir_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tir_support.dir/strings.cpp.o"
+  "CMakeFiles/tir_support.dir/strings.cpp.o.d"
+  "CMakeFiles/tir_support.dir/units.cpp.o"
+  "CMakeFiles/tir_support.dir/units.cpp.o.d"
+  "libtir_support.a"
+  "libtir_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_tau.dir/tau_reader.cpp.o"
+  "CMakeFiles/tir_tau.dir/tau_reader.cpp.o.d"
+  "CMakeFiles/tir_tau.dir/tau_writer.cpp.o"
+  "CMakeFiles/tir_tau.dir/tau_writer.cpp.o.d"
+  "libtir_tau.a"
+  "libtir_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

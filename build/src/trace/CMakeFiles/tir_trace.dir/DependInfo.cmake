@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/action.cpp" "src/trace/CMakeFiles/tir_trace.dir/action.cpp.o" "gcc" "src/trace/CMakeFiles/tir_trace.dir/action.cpp.o.d"
+  "/root/repo/src/trace/binary_format.cpp" "src/trace/CMakeFiles/tir_trace.dir/binary_format.cpp.o" "gcc" "src/trace/CMakeFiles/tir_trace.dir/binary_format.cpp.o.d"
+  "/root/repo/src/trace/compact.cpp" "src/trace/CMakeFiles/tir_trace.dir/compact.cpp.o" "gcc" "src/trace/CMakeFiles/tir_trace.dir/compact.cpp.o.d"
+  "/root/repo/src/trace/text_format.cpp" "src/trace/CMakeFiles/tir_trace.dir/text_format.cpp.o" "gcc" "src/trace/CMakeFiles/tir_trace.dir/text_format.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/trace/CMakeFiles/tir_trace.dir/trace_set.cpp.o" "gcc" "src/trace/CMakeFiles/tir_trace.dir/trace_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_trace.dir/action.cpp.o"
+  "CMakeFiles/tir_trace.dir/action.cpp.o.d"
+  "CMakeFiles/tir_trace.dir/binary_format.cpp.o"
+  "CMakeFiles/tir_trace.dir/binary_format.cpp.o.d"
+  "CMakeFiles/tir_trace.dir/compact.cpp.o"
+  "CMakeFiles/tir_trace.dir/compact.cpp.o.d"
+  "CMakeFiles/tir_trace.dir/text_format.cpp.o"
+  "CMakeFiles/tir_trace.dir/text_format.cpp.o.d"
+  "CMakeFiles/tir_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/tir_trace.dir/trace_set.cpp.o.d"
+  "libtir_trace.a"
+  "libtir_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acquisition.dir/acquisition_test.cpp.o"
+  "CMakeFiles/test_acquisition.dir/acquisition_test.cpp.o.d"
+  "CMakeFiles/test_acquisition.dir/tau_format_test.cpp.o"
+  "CMakeFiles/test_acquisition.dir/tau_format_test.cpp.o.d"
+  "test_acquisition"
+  "test_acquisition.pdb"
+  "test_acquisition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_lu_test.cpp" "tests/CMakeFiles/test_apps.dir/apps_lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps_lu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tir_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tir_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/tir_simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tir_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

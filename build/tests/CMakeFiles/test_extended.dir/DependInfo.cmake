@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compact_trace_test.cpp" "tests/CMakeFiles/test_extended.dir/compact_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_extended.dir/compact_trace_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/test_extended.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_extended.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/extended_collectives_test.cpp" "tests/CMakeFiles/test_extended.dir/extended_collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_extended.dir/extended_collectives_test.cpp.o.d"
+  "/root/repo/tests/timed_trace_test.cpp" "tests/CMakeFiles/test_extended.dir/timed_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_extended.dir/timed_trace_test.cpp.o.d"
+  "/root/repo/tests/trace_property_test.cpp" "tests/CMakeFiles/test_extended.dir/trace_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_extended.dir/trace_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/tir_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/acquisition/CMakeFiles/tir_acquisition.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tir_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tir_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tir_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/tir_simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tir_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tir_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended.dir/compact_trace_test.cpp.o"
+  "CMakeFiles/test_extended.dir/compact_trace_test.cpp.o.d"
+  "CMakeFiles/test_extended.dir/edge_cases_test.cpp.o"
+  "CMakeFiles/test_extended.dir/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_extended.dir/extended_collectives_test.cpp.o"
+  "CMakeFiles/test_extended.dir/extended_collectives_test.cpp.o.d"
+  "CMakeFiles/test_extended.dir/timed_trace_test.cpp.o"
+  "CMakeFiles/test_extended.dir/timed_trace_test.cpp.o.d"
+  "CMakeFiles/test_extended.dir/trace_property_test.cpp.o"
+  "CMakeFiles/test_extended.dir/trace_property_test.cpp.o.d"
+  "test_extended"
+  "test_extended.pdb"
+  "test_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

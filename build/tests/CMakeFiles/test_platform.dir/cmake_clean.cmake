@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform_files_test.cpp.o"
+  "CMakeFiles/test_platform.dir/platform_files_test.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform_netmodel_test.cpp.o"
+  "CMakeFiles/test_platform.dir/platform_netmodel_test.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform_routing_test.cpp.o"
+  "CMakeFiles/test_platform.dir/platform_routing_test.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform_xml_test.cpp.o"
+  "CMakeFiles/test_platform.dir/platform_xml_test.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simkern.dir/simkern_engine_test.cpp.o"
+  "CMakeFiles/test_simkern.dir/simkern_engine_test.cpp.o.d"
+  "CMakeFiles/test_simkern.dir/simkern_maxmin_test.cpp.o"
+  "CMakeFiles/test_simkern.dir/simkern_maxmin_test.cpp.o.d"
+  "CMakeFiles/test_simkern.dir/simkern_scheduler_test.cpp.o"
+  "CMakeFiles/test_simkern.dir/simkern_scheduler_test.cpp.o.d"
+  "test_simkern"
+  "test_simkern.pdb"
+  "test_simkern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

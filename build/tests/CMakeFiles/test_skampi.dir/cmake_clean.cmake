@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skampi.dir/skampi_test.cpp.o"
+  "CMakeFiles/test_skampi.dir/skampi_test.cpp.o.d"
+  "test_skampi"
+  "test_skampi.pdb"
+  "test_skampi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

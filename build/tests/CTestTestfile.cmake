@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_simkern[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_acquisition[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_skampi[1]_include.cmake")
+include("/root/repo/build/tests/test_extended[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir-replay.dir/tir-replay.cpp.o"
+  "CMakeFiles/tir-replay.dir/tir-replay.cpp.o.d"
+  "tir-replay"
+  "tir-replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir-replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

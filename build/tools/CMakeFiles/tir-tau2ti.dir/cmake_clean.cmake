@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir-tau2ti.dir/tir-tau2ti.cpp.o"
+  "CMakeFiles/tir-tau2ti.dir/tir-tau2ti.cpp.o.d"
+  "tir-tau2ti"
+  "tir-tau2ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir-tau2ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tir-tau2ti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir-traceinfo.dir/tir-traceinfo.cpp.o"
+  "CMakeFiles/tir-traceinfo.dir/tir-traceinfo.cpp.o.d"
+  "tir-traceinfo"
+  "tir-traceinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir-traceinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tir-traceinfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_replay_smoke "/root/repo/build/tools/tir-replay" "--platform" "/root/repo/build/examples/quickstart_work/platform.xml" "--deployment" "/root/repo/build/examples/quickstart_work/deployment.xml" "/root/repo/build/examples/quickstart_work/SG_process0.trace" "/root/repo/build/examples/quickstart_work/SG_process1.trace" "/root/repo/build/examples/quickstart_work/SG_process2.trace" "/root/repo/build/examples/quickstart_work/SG_process3.trace" "--profile")
+set_tests_properties(tool_replay_smoke PROPERTIES  FIXTURES_REQUIRED "quickstart_output" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_traceinfo_smoke "/root/repo/build/tools/tir-traceinfo" "/root/repo/build/examples/quickstart_work/SG_process0.trace")
+set_tests_properties(tool_traceinfo_smoke PROPERTIES  FIXTURES_REQUIRED "quickstart_output" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
