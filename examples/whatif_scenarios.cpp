@@ -1,12 +1,16 @@
 // "What if?" exploration (paper §5): one acquired trace, many target
 // platforms — no modification of the simulator, only different inputs.
 //
-// Acquires an LU class A trace once, then replays it against:
+// Acquires an LU class A trace once, then sweeps it against:
 //   - the baseline cluster,
 //   - CPUs 2x faster,
 //   - network 10x faster,
 //   - both upgrades,
 //   - the ranks folded 2-per-node on half the machines.
+//
+// Each target is one immutable ScenarioSpec sharing the same decoded trace
+// set; SweepRunner replays them on a worker pool and returns the results
+// in scenario order (see src/replay/sweep.hpp).
 //
 // Run:  ./whatif_scenarios [workdir]
 #include <filesystem>
@@ -16,25 +20,30 @@
 #include "acquisition/acquisition.hpp"
 #include "apps/lu.hpp"
 #include "platform/cluster.hpp"
-#include "replay/replayer.hpp"
+#include "replay/sweep.hpp"
 #include "support/units.hpp"
 
 using namespace tir;
 
 namespace {
 
-double replay_on(const plat::ClusterSpec& spec, int nodes, int nprocs,
-                 const trace::TraceSet& traces) {
-  plat::Platform platform;
-  auto cluster = spec;
+replay::ScenarioSpec scenario_on(std::string name,
+                                 const plat::ClusterSpec& cluster_spec,
+                                 int nodes, int nprocs,
+                                 const trace::TraceSet& traces) {
+  auto platform = std::make_shared<plat::Platform>();
+  auto cluster = cluster_spec;
   cluster.count = nodes;
-  const auto hosts = plat::build_cluster(platform, cluster);
-  std::vector<int> process_hosts;
+  const auto hosts = plat::build_cluster(*platform, cluster);
+
+  replay::ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.platform = std::move(platform);
   const int per_node = (nprocs + nodes - 1) / nodes;
   for (int p = 0; p < nprocs; ++p)
-    process_hosts.push_back(hosts[static_cast<std::size_t>(p / per_node)]);
-  replay::Replayer replayer(platform, process_hosts, traces);
-  return replayer.run().simulated_time;
+    spec.process_hosts.push_back(hosts[static_cast<std::size_t>(p / per_node)]);
+  spec.traces = traces;
+  return spec;
 }
 
 }  // namespace
@@ -72,27 +81,28 @@ int main(int argc, char** argv) {
   both.latency = fast_net.latency;
   both.backbone_latency = fast_net.backbone_latency;
 
-  struct Scenario {
-    const char* name;
-    double time;
+  const std::vector<replay::ScenarioSpec> scenarios = {
+      scenario_on("baseline bordereau (16 nodes)", base, 16, 16, traces),
+      scenario_on("CPUs 2x faster", fast_cpu, 16, 16, traces),
+      scenario_on("network 10x faster", fast_net, 16, 16, traces),
+      scenario_on("both upgrades", both, 16, 16, traces),
+      scenario_on("folded 2/node on 8 nodes", base, 8, 16, traces),
   };
-  const Scenario scenarios[] = {
-      {"baseline bordereau (16 nodes)", replay_on(base, 16, 16, traces)},
-      {"CPUs 2x faster", replay_on(fast_cpu, 16, 16, traces)},
-      {"network 10x faster", replay_on(fast_net, 16, 16, traces)},
-      {"both upgrades", replay_on(both, 16, 16, traces)},
-      {"folded 2/node on 8 nodes", replay_on(base, 8, 16, traces)},
-  };
+  const auto results =
+      replay::run_sweep(scenarios, {.rethrow_errors = true});
 
   std::cout << "\nScenario                              predicted time  speedup\n"
             << "--------------------------------------------------------------\n";
-  const double baseline = scenarios[0].time;
-  for (const auto& s : scenarios) {
-    std::cout << std::left << std::setw(38) << s.name << std::setw(15)
-              << units::format_duration(s.time) << std::fixed
-              << std::setprecision(2) << baseline / s.time << "x\n";
+  const double baseline = results[0].replay.simulated_time;
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(38) << r.name << std::setw(15)
+              << units::format_duration(r.replay.simulated_time) << std::fixed
+              << std::setprecision(2)
+              << baseline / r.replay.simulated_time << "x\n";
   }
-  std::cout << "\nSame trace, same simulator — only the platform and "
+  std::cout << "\nSame trace (decoded once: " << traces.decode_count()
+            << " parse passes for " << results.size()
+            << " replays), same simulator — only the platform and "
                "deployment inputs changed.\n";
   return 0;
 }

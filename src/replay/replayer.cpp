@@ -2,79 +2,40 @@
 
 #include "platform/platform_file.hpp"
 #include "support/error.hpp"
-#include "support/log.hpp"
 
 namespace tir::replay {
 
 Replayer::Replayer(const plat::Platform& platform,
                    std::vector<int> process_hosts,
-                   const trace::TraceSet& traces, ReplayConfig config)
-    : platform_(platform),
-      process_hosts_(std::move(process_hosts)),
-      traces_(traces),
-      config_(config) {
-  if (static_cast<int>(process_hosts_.size()) != traces_.nprocs())
+                   const trace::TraceSet& traces, ReplayConfig config) {
+  spec_.platform = share_platform(platform);
+  spec_.process_hosts = std::move(process_hosts);
+  spec_.traces = traces;
+  spec_.config = config;
+  if (static_cast<int>(spec_.process_hosts.size()) != traces.nprocs())
     throw SimError("replay: deployment has " +
-                   std::to_string(process_hosts_.size()) +
+                   std::to_string(spec_.process_hosts.size()) +
                    " processes but the trace set has " +
-                   std::to_string(traces_.nprocs()));
+                   std::to_string(traces.nprocs()));
 }
 
-ReplayResult Replayer::run() {
-  const int nprocs = traces_.nprocs();
-  sim::Engine engine(platform_);
-  mpi::World world(engine, process_hosts_, config_.mpi);
-
-  ReplayResult result;
-  result.process_finish_times.assign(static_cast<std::size_t>(nprocs), 0.0);
-
-  std::vector<std::unique_ptr<ReplayCtx>> contexts;
-  contexts.reserve(static_cast<std::size_t>(nprocs));
-  for (int p = 0; p < nprocs; ++p)
-    contexts.push_back(std::make_unique<ReplayCtx>(
-        world.rank(p), config_.compute_efficiency));
-
-  for (int p = 0; p < nprocs; ++p) {
-    ReplayCtx* ctx = contexts[static_cast<std::size_t>(p)].get();
-    world.launch_rank(p, [this, ctx, p, &engine,
-                          &result](mpi::Rank&) -> sim::Co<void> {
-      auto source = traces_.open(p);
-      while (auto action = source->next()) {
-        if (action->pid != p)
-          throw SimError("replay: process " + std::to_string(p) +
-                         " read an action belonging to process " +
-                         std::to_string(action->pid));
-        const ActionHandler& handler = registry_.handler(action->type);
-        const double start = engine.now();
-        co_await handler(*ctx, *action);
-        ++result.actions_replayed;
-        if (config_.record_timed_trace)
-          result.timed_trace.push_back(
-              TimedAction{p, *action, start, engine.now()});
-      }
-      if (ctx->pending_requests() > 0)
-        log::warn("replay: process ", p, " finished with ",
-                  ctx->pending_requests(), " pending request(s)");
-      result.process_finish_times[static_cast<std::size_t>(p)] = engine.now();
-    });
-  }
-  engine.run();
-  result.simulated_time = engine.now();
-  result.engine_stats = engine.stats();
-  return result;
-}
+ReplayResult Replayer::run() { return run_scenario(spec_, registry_); }
 
 ReplayResult replay_files(const std::filesystem::path& platform_xml,
                           const std::filesystem::path& deployment_xml,
                           const std::vector<std::filesystem::path>& traces,
                           ReplayConfig config) {
-  const plat::Platform platform =
-      plat::load_platform_file(platform_xml.string());
+  const auto platform = std::make_shared<const plat::Platform>(
+      plat::load_platform_file(platform_xml.string()));
   const plat::Deployment deployment =
       plat::load_deployment_file(deployment_xml.string());
-  const trace::TraceSet set = trace::TraceSet::per_process_files(traces);
-  Replayer replayer(platform, deployment.resolve(platform), set, config);
-  return replayer.run();
+  ScenarioSpec spec;
+  spec.name = platform_xml.stem().string();
+  spec.platform = platform;
+  spec.process_hosts = deployment.resolve(*platform);
+  spec.traces = trace::TraceSet::per_process_files(traces);
+  spec.config = config;
+  return run_scenario(spec);
 }
 
 }  // namespace tir::replay

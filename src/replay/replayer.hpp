@@ -4,44 +4,28 @@
 // deployment (process -> host mapping). Output: the simulated execution
 // time — optionally with a per-action *timed* trace, the paper's second
 // output kind ("adding timers in the trace replay tool").
+//
+// Replayer is a thin convenience wrapper over the scenario layer: it keeps
+// the historical constructor shape and a mutable registry, but each run()
+// delegates to the stateless run_scenario() (see scenario.hpp). New code —
+// anything that replays more than once — should build ScenarioSpecs and use
+// run_scenario / SweepRunner directly.
 #pragma once
 
 #include <filesystem>
-#include <optional>
 #include <vector>
 
 #include "platform/deployment.hpp"
 #include "replay/registry.hpp"
+#include "replay/scenario.hpp"
 #include "trace/trace_set.hpp"
 
 namespace tir::replay {
 
-struct ReplayConfig {
-  mpi::Config mpi;                    ///< eager threshold, collective algo
-  double compute_efficiency = 1.0;    ///< hosts run at calibrated speed
-  bool record_timed_trace = false;
-};
-
-/// One row of the optional timed trace.
-struct TimedAction {
-  int pid;
-  trace::Action action;
-  double start;
-  double end;
-};
-
-struct ReplayResult {
-  double simulated_time = 0.0;              ///< makespan
-  std::vector<double> process_finish_times; ///< per process
-  std::uint64_t actions_replayed = 0;
-  sim::EngineStats engine_stats;
-  std::vector<TimedAction> timed_trace;     ///< when requested
-};
-
 class Replayer {
  public:
   /// `process_hosts[i]` hosts process i (from Deployment::resolve or any
-  /// custom mapping).
+  /// custom mapping). `platform` must outlive the Replayer.
   Replayer(const plat::Platform& platform, std::vector<int> process_hosts,
            const trace::TraceSet& traces, ReplayConfig config = {});
 
@@ -53,10 +37,7 @@ class Replayer {
   ReplayResult run();
 
  private:
-  const plat::Platform& platform_;
-  std::vector<int> process_hosts_;
-  const trace::TraceSet& traces_;
-  ReplayConfig config_;
+  ScenarioSpec spec_;
   ActionRegistry registry_ = ActionRegistry::with_defaults();
 };
 

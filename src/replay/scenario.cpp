@@ -1,0 +1,76 @@
+#include "replay/scenario.hpp"
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace tir::replay {
+
+std::shared_ptr<const plat::Platform> share_platform(
+    const plat::Platform& platform) {
+  return std::shared_ptr<const plat::Platform>(
+      std::shared_ptr<const plat::Platform>{}, &platform);
+}
+
+ReplayResult run_scenario(const ScenarioSpec& spec) {
+  ActionRegistry registry = ActionRegistry::with_defaults();
+  if (spec.customize_registry) spec.customize_registry(registry);
+  return run_scenario(spec, registry);
+}
+
+ReplayResult run_scenario(const ScenarioSpec& spec,
+                          const ActionRegistry& registry) {
+  if (!spec.platform) throw SimError("scenario: no platform");
+  const int nprocs = spec.traces.nprocs();
+  if (nprocs == 0) throw SimError("scenario: empty trace set");
+  if (static_cast<int>(spec.process_hosts.size()) != nprocs)
+    throw SimError("scenario: deployment has " +
+                   std::to_string(spec.process_hosts.size()) +
+                   " processes but the trace set has " +
+                   std::to_string(nprocs));
+
+  // Every mutable piece of the simulation lives below this line, scoped to
+  // this call: the engine (event heaps, route cache, fluid state), the MPI
+  // world (matching queues) and the per-process replay contexts.
+  sim::Engine engine(*spec.platform);
+  mpi::World world(engine, spec.process_hosts, spec.config.mpi);
+
+  ReplayResult result;
+  result.process_finish_times.assign(static_cast<std::size_t>(nprocs), 0.0);
+
+  std::vector<std::unique_ptr<ReplayCtx>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p)
+    contexts.push_back(std::make_unique<ReplayCtx>(
+        world.rank(p), spec.config.compute_efficiency));
+
+  for (int p = 0; p < nprocs; ++p) {
+    ReplayCtx* ctx = contexts[static_cast<std::size_t>(p)].get();
+    world.launch_rank(p, [&spec, &registry, ctx, p, &engine,
+                          &result](mpi::Rank&) -> sim::Co<void> {
+      auto source = spec.traces.open(p);
+      while (auto action = source->next()) {
+        if (action->pid != p)
+          throw SimError("replay: process " + std::to_string(p) +
+                         " read an action belonging to process " +
+                         std::to_string(action->pid));
+        const ActionHandler& handler = registry.handler(action->type);
+        const double start = engine.now();
+        co_await handler(*ctx, *action);
+        ++result.actions_replayed;
+        if (spec.config.record_timed_trace)
+          result.timed_trace.push_back(
+              TimedAction{p, *action, start, engine.now()});
+      }
+      if (ctx->pending_requests() > 0)
+        log::warn("replay: process ", p, " finished with ",
+                  ctx->pending_requests(), " pending request(s)");
+      result.process_finish_times[static_cast<std::size_t>(p)] = engine.now();
+    });
+  }
+  engine.run();
+  result.simulated_time = engine.now();
+  result.engine_stats = engine.stats();
+  return result;
+}
+
+}  // namespace tir::replay

@@ -1,0 +1,85 @@
+// The scenario layer: one replay = one immutable ScenarioSpec.
+//
+// The paper's workflow acquires a time-independent trace once and replays
+// it many times against different platforms, deployments and MPI configs
+// (§5's "wide range of what-if scenarios ... without any modification of
+// the simulator"). A ScenarioSpec names exactly the inputs of one such
+// replay; everything it references is shared and immutable (Platform via
+// shared_ptr, TraceSet handles shared decoded storage), while every piece
+// of mutable simulation state — engine heaps, route cache, MPI matching
+// queues, the action registry — lives inside run_scenario's frame. That is
+// what makes scenarios embarrassingly parallel: see sweep.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "replay/registry.hpp"
+#include "trace/trace_set.hpp"
+
+namespace tir::replay {
+
+struct ReplayConfig {
+  mpi::Config mpi;                    ///< eager threshold, collective algo
+  double compute_efficiency = 1.0;    ///< hosts run at calibrated speed
+  bool record_timed_trace = false;
+};
+
+/// One row of the optional timed trace.
+struct TimedAction {
+  int pid;
+  trace::Action action;
+  double start;
+  double end;
+};
+
+struct ReplayResult {
+  double simulated_time = 0.0;              ///< makespan
+  std::vector<double> process_finish_times; ///< per process
+  std::uint64_t actions_replayed = 0;
+  sim::EngineStats engine_stats;
+  std::vector<TimedAction> timed_trace;     ///< when requested
+};
+
+/// The immutable description of one replay run.
+struct ScenarioSpec {
+  /// Label carried through sweep results and CLI tables.
+  std::string name;
+
+  /// Target platform, shared across scenarios. Use share_platform() to wrap
+  /// a stack-owned Platform the caller keeps alive.
+  std::shared_ptr<const plat::Platform> platform;
+
+  /// process_hosts[i] hosts process i (Deployment::resolve or any mapping).
+  std::vector<int> process_hosts;
+
+  /// Shared handle onto decoded trace storage (copying shares the decode).
+  trace::TraceSet traces;
+
+  ReplayConfig config;
+
+  /// Optional hook to override Table 1 action semantics for this scenario;
+  /// it receives a registry pre-loaded with the defaults.
+  std::function<void(ActionRegistry&)> customize_registry;
+};
+
+/// Non-owning shared_ptr view of a caller-owned platform (aliasing
+/// constructor). The caller must keep `platform` alive past the run.
+std::shared_ptr<const plat::Platform> share_platform(
+    const plat::Platform& platform);
+
+/// Replays one scenario. Stateless: builds a fresh engine, MPI world and
+/// action registry per call, so concurrent calls over shared specs are
+/// safe. Throws tir::SimError on inconsistent inputs.
+ReplayResult run_scenario(const ScenarioSpec& spec);
+
+/// As above but with an explicit, caller-built registry (the Replayer
+/// compatibility path). `registry` is only read.
+ReplayResult run_scenario(const ScenarioSpec& spec,
+                          const ActionRegistry& registry);
+
+}  // namespace tir::replay

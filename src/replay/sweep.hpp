@@ -1,0 +1,58 @@
+// SweepRunner: N scenarios, W worker threads, deterministic ordered output.
+//
+// The Table 2 / sensitivity-analysis workload: the same immutable inputs
+// (platforms, decoded traces) feed many independent replays. Each worker
+// claims scenarios off a shared atomic counter and runs run_scenario() —
+// whose per-run engine owns every piece of mutable state — so scenarios
+// parallelise without locks around simulation state. Results land in a
+// pre-sized vector slot per scenario: the output order and every simulated
+// time are bit-identical whatever the worker count or interleaving.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "replay/scenario.hpp"
+
+namespace tir::replay {
+
+struct SweepOptions {
+  /// Worker threads; 0 picks the hardware concurrency. 1 degenerates to
+  /// the plain serial loop (no threads are spawned).
+  int workers = 0;
+
+  /// When false (default), a scenario that throws is recorded in its
+  /// SweepResult and the sweep continues; when true the first error (in
+  /// scenario order) is rethrown after all workers drain.
+  bool rethrow_errors = false;
+};
+
+/// Outcome of one scenario, in submission order.
+struct SweepResult {
+  std::string name;        ///< copied from the spec
+  bool ok = false;
+  std::string error;       ///< exception message when !ok
+  ReplayResult replay;     ///< valid when ok
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every scenario; results[i] corresponds to scenarios[i].
+  std::vector<SweepResult> run(
+      const std::vector<ScenarioSpec>& scenarios) const;
+
+  /// The worker count a run() will actually use.
+  int effective_workers(std::size_t scenario_count) const;
+
+ private:
+  SweepOptions options_;
+};
+
+/// One-shot convenience over SweepRunner.
+std::vector<SweepResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
+                                   SweepOptions options = {});
+
+}  // namespace tir::replay

@@ -285,12 +285,6 @@ void Engine::drain_ready() {
     ++stats_.resumes;
     handle.resume();
   }
-  if (keepalive_.size() > 1024) {
-    keepalive_.erase(
-        std::remove_if(keepalive_.begin(), keepalive_.end(),
-                       [](const ActivityPtr& a) { return a->done(); }),
-        keepalive_.end());
-  }
 }
 
 void Engine::run() {

@@ -126,15 +126,26 @@ class Engine {
     void await_resume() const noexcept {}
   };
 
+  /// Awaiter that keeps its activity alive for the await's duration — used
+  /// for anonymous activities nobody else holds (wait_for's timers). Living
+  /// in the coroutine frame, it releases its reference exactly when the
+  /// co_await resumes, so long replays accumulate no dead ActivityPtrs.
+  struct OwningAwaiter {
+    ActivityPtr activity;
+    bool await_ready() const noexcept { return activity->done(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      activity->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
   /// co_await engine.wait(act) — suspends until the activity completes.
   Awaiter wait(const ActivityPtr& activity) { return Awaiter{activity.get()}; }
   Awaiter wait(Activity& activity) { return Awaiter{&activity}; }
 
   /// Convenience: one-shot sleep.
-  Awaiter wait_for(SimTime duration) {
-    auto t = timer_async(duration);
-    keepalive_.push_back(t);
-    return Awaiter{t.get()};
+  OwningAwaiter wait_for(SimTime duration) {
+    return OwningAwaiter{timer_async(duration)};
   }
 
  private:
@@ -211,7 +222,6 @@ class Engine {
   std::deque<std::coroutine_handle<>> ready_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_processes_ = 0;
-  std::vector<ActivityPtr> keepalive_;  // anonymous timers from wait_for
   std::exception_ptr first_error_;
   EngineStats stats_;
   bool running_ = false;

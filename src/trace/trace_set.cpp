@@ -1,9 +1,10 @@
 #include "trace/trace_set.hpp"
 
+#include <atomic>
+#include <mutex>
+
 #include "support/error.hpp"
-#include "trace/binary_format.hpp"
-#include "trace/compact.hpp"
-#include "trace/text_format.hpp"
+#include "trace/codec.hpp"
 
 namespace tir::trace {
 
@@ -45,127 +46,143 @@ TraceStats& TraceStats::operator+=(const TraceStats& other) {
   return *this;
 }
 
+// Shared, write-once trace storage. Decoding is keyed per file behind a
+// std::once_flag: concurrent sweep workers opening the same process block
+// until the single decode pass finishes, then read the immutable vectors.
+struct TraceSet::Storage {
+  enum class Layout { split, merged, memory } layout = Layout::memory;
+  int nprocs = 0;
+  std::vector<std::filesystem::path> files;
+  std::vector<std::vector<Action>> decoded;       // index = pid
+  std::unique_ptr<std::once_flag[]> decode_once;  // one per file
+  std::atomic<std::uint64_t> decodes{0};
+
+  /// Ensures process `pid`'s actions are decoded; returns them.
+  const std::vector<Action>& process_actions(int pid) {
+    switch (layout) {
+      case Layout::memory:
+        break;
+      case Layout::split: {
+        const auto index = static_cast<std::size_t>(pid);
+        std::call_once(decode_once[index], [&] {
+          const auto& path = files[index];
+          decoded[index] = codec_for_file(path).decode(path);
+          decodes.fetch_add(1, std::memory_order_relaxed);
+        });
+        break;
+      }
+      case Layout::merged:
+        std::call_once(decode_once[0], [&] {
+          auto all = codec_for_file(files.front()).decode(files.front());
+          for (Action& a : all) {
+            if (a.pid < 0 || a.pid >= nprocs)
+              throw ParseError(files.front().string() +
+                               ": action for process " +
+                               std::to_string(a.pid) + " but nprocs is " +
+                               std::to_string(nprocs));
+            decoded[static_cast<std::size_t>(a.pid)].push_back(std::move(a));
+          }
+          decodes.fetch_add(1, std::memory_order_relaxed);
+        });
+        break;
+    }
+    return decoded[static_cast<std::size_t>(pid)];
+  }
+};
+
 namespace {
 
-class MemorySource final : public ActionSource {
+/// Cursor over decoded actions; pins the storage (via a type-erased owner
+/// handle) so the view outlives any TraceSet handle the caller may drop.
+class DecodedSource final : public ActionSource {
  public:
-  explicit MemorySource(const std::vector<Action>* actions)
-      : actions_(actions) {}
+  DecodedSource(std::shared_ptr<void> storage,
+                const std::vector<Action>* actions)
+      : storage_(std::move(storage)), actions_(actions) {}
   std::optional<Action> next() override {
     if (index_ >= actions_->size()) return std::nullopt;
     return (*actions_)[index_++];
   }
 
  private:
+  std::shared_ptr<void> storage_;
   const std::vector<Action>* actions_;
   std::size_t index_ = 0;
 };
 
-class TextSource final : public ActionSource {
- public:
-  TextSource(const std::filesystem::path& path, int pid_filter)
-      : reader_(path, pid_filter) {}
-  std::optional<Action> next() override { return reader_.next(); }
-
- private:
-  TextTraceReader reader_;
-};
-
-class BinarySource final : public ActionSource {
- public:
-  BinarySource(const std::filesystem::path& path, int pid_filter)
-      : reader_(path), pid_filter_(pid_filter) {}
-  std::optional<Action> next() override {
-    while (auto a = reader_.next()) {
-      if (pid_filter_ < 0 || a->pid == pid_filter_) return a;
-    }
-    return std::nullopt;
-  }
-
- private:
-  BinaryTraceReader reader_;
-  int pid_filter_;
-};
-
-std::unique_ptr<ActionSource> open_file(const std::filesystem::path& path,
-                                        int pid_filter) {
-  if (is_binary_trace(path))
-    return std::make_unique<BinarySource>(path, pid_filter);
-  if (is_compact_trace(path)) {
-    // Compact traces are per-process programs: no pid filtering needed.
-    return std::make_unique<CompactSource>(read_compact(path));
-  }
-  return std::make_unique<TextSource>(path, pid_filter);
-}
-
 }  // namespace
+
+TraceSet::TraceSet() : storage_(std::make_shared<Storage>()) {}
+
+TraceSet::~TraceSet() = default;
 
 TraceSet TraceSet::per_process_files(
     std::vector<std::filesystem::path> files) {
   if (files.empty()) throw Error("TraceSet: no trace files");
   TraceSet set;
-  set.layout_ = Layout::split;
-  set.nprocs_ = static_cast<int>(files.size());
-  set.files_ = std::move(files);
+  set.storage_ = std::make_shared<Storage>();
+  set.storage_->layout = Storage::Layout::split;
+  set.storage_->nprocs = static_cast<int>(files.size());
+  set.storage_->files = std::move(files);
+  set.storage_->decoded.resize(set.storage_->files.size());
+  set.storage_->decode_once =
+      std::make_unique<std::once_flag[]>(set.storage_->files.size());
   return set;
 }
 
 TraceSet TraceSet::merged_file(std::filesystem::path file, int nprocs) {
   if (nprocs <= 0) throw Error("TraceSet: nprocs must be positive");
   TraceSet set;
-  set.layout_ = Layout::merged;
-  set.nprocs_ = nprocs;
-  set.files_.push_back(std::move(file));
+  set.storage_ = std::make_shared<Storage>();
+  set.storage_->layout = Storage::Layout::merged;
+  set.storage_->nprocs = nprocs;
+  set.storage_->files.push_back(std::move(file));
+  set.storage_->decoded.resize(static_cast<std::size_t>(nprocs));
+  set.storage_->decode_once = std::make_unique<std::once_flag[]>(1);
   return set;
 }
 
 TraceSet TraceSet::in_memory(std::vector<std::vector<Action>> actions) {
   if (actions.empty()) throw Error("TraceSet: no processes");
   TraceSet set;
-  set.layout_ = Layout::memory;
-  set.nprocs_ = static_cast<int>(actions.size());
-  set.memory_ = std::move(actions);
+  set.storage_ = std::make_shared<Storage>();
+  set.storage_->layout = Storage::Layout::memory;
+  set.storage_->nprocs = static_cast<int>(actions.size());
+  set.storage_->decoded = std::move(actions);
   return set;
 }
 
-std::unique_ptr<ActionSource> TraceSet::open(int pid) const {
-  if (pid < 0 || pid >= nprocs_)
+int TraceSet::nprocs() const { return storage_->nprocs; }
+
+const std::vector<Action>& TraceSet::actions(int pid) const {
+  if (pid < 0 || pid >= storage_->nprocs)
     throw Error("TraceSet: invalid process id " + std::to_string(pid));
-  switch (layout_) {
-    case Layout::memory:
-      return std::make_unique<MemorySource>(
-          &memory_[static_cast<std::size_t>(pid)]);
-    case Layout::split:
-      return open_file(files_[static_cast<std::size_t>(pid)], -1);
-    case Layout::merged:
-      return open_file(files_.front(), pid);
-  }
-  throw Error("TraceSet: corrupt layout");
+  return storage_->process_actions(pid);
+}
+
+std::unique_ptr<ActionSource> TraceSet::open(int pid) const {
+  return std::make_unique<DecodedSource>(storage_, &actions(pid));
 }
 
 TraceStats TraceSet::stats() const {
   TraceStats total;
-  if (layout_ == Layout::merged) {
-    // One pass over the single file (no per-pid filtering needed).
-    auto source = open_file(files_.front(), -1);
-    while (auto a = source->next()) total.account(*a);
-    return total;
-  }
-  for (int p = 0; p < nprocs_; ++p) {
-    auto source = open(p);
-    while (auto a = source->next()) total.account(*a);
-  }
+  for (int p = 0; p < storage_->nprocs; ++p)
+    for (const Action& a : actions(p)) total.account(a);
   return total;
 }
 
 std::uint64_t TraceSet::disk_bytes() const {
   std::uint64_t bytes = 0;
-  for (const auto& f : files_) {
+  for (const auto& f : storage_->files) {
     std::error_code ec;
     const auto size = std::filesystem::file_size(f, ec);
     if (!ec) bytes += size;
   }
   return bytes;
+}
+
+std::uint64_t TraceSet::decode_count() const {
+  return storage_->decodes.load(std::memory_order_relaxed);
 }
 
 }  // namespace tir::trace

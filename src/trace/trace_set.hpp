@@ -2,9 +2,16 @@
 //
 // Three storage layouts (paper §3: "it may be preferable to split the
 // time-independent trace in several files, e.g., one file per process"):
-//   - one file per process (text or binary; auto-detected),
+//   - one file per process (text, binary or compact; auto-detected),
 //   - one merged file holding every process's actions,
 //   - in-memory vectors (tests, programmatic workloads).
+//
+// Immutability contract: a TraceSet is a cheap handle onto shared, decoded
+// trace storage. Copying shares the storage; every file is decoded at most
+// once per storage, no matter how many scenarios, copies or threads replay
+// it (a what-if sweep pays one parse for N replays). All const member
+// functions are safe to call concurrently — first-use decoding is
+// synchronised internally — so one TraceSet can feed many sweep workers.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +47,7 @@ struct TraceStats {
 class TraceSet {
  public:
   /// One file per process; index in the vector = process id. Each file may
-  /// be text or binary (detected by magic).
+  /// be text, binary or compact (detected by magic).
   static TraceSet per_process_files(std::vector<std::filesystem::path> files);
 
   /// A single merged file; `nprocs` process streams are filtered out of it.
@@ -49,23 +56,41 @@ class TraceSet {
   /// In-memory actions (index = process id).
   static TraceSet in_memory(std::vector<std::vector<Action>> actions);
 
-  int nprocs() const { return nprocs_; }
+  /// An empty set (nprocs() == 0) — a placeholder for ScenarioSpec fields
+  /// before assignment; replaying it is an error.
+  TraceSet();
 
-  /// Opens process `pid`'s stream. Each call restarts from the beginning.
+  TraceSet(const TraceSet&) = default;
+  TraceSet& operator=(const TraceSet&) = default;
+  TraceSet(TraceSet&&) = default;
+  TraceSet& operator=(TraceSet&&) = default;
+  ~TraceSet();
+
+  int nprocs() const;
+
+  /// Opens a cursor over process `pid`'s decoded actions, starting from the
+  /// beginning. Cheap after the first call per file: the decoded actions are
+  /// cached in the shared storage. Thread-safe.
   std::unique_ptr<ActionSource> open(int pid) const;
 
-  /// Scans every stream once and accumulates statistics.
+  /// Direct view of process `pid`'s decoded actions (decodes on first use).
+  /// The reference stays valid for the storage's lifetime. Thread-safe.
+  const std::vector<Action>& actions(int pid) const;
+
+  /// Statistics over every stream (decodes on first use). Thread-safe.
   TraceStats stats() const;
 
   /// Total on-disk size in bytes (0 for in-memory traces).
   std::uint64_t disk_bytes() const;
 
+  /// Number of file-decode passes performed so far by this storage. Stays
+  /// bounded by the file count forever — the hook sweep tests use to prove
+  /// traces are parsed once regardless of scenario count.
+  std::uint64_t decode_count() const;
+
  private:
-  TraceSet() = default;
-  enum class Layout { split, merged, memory } layout_ = Layout::memory;
-  int nprocs_ = 0;
-  std::vector<std::filesystem::path> files_;
-  std::vector<std::vector<Action>> memory_;
+  struct Storage;
+  std::shared_ptr<Storage> storage_;
 };
 
 }  // namespace tir::trace

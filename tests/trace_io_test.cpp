@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "trace/binary_format.hpp"
+#include "trace/codec.hpp"
 #include "trace/text_format.hpp"
 #include "trace/trace_set.hpp"
 
@@ -208,6 +209,79 @@ TEST_F(TraceIoTest, TraceSetValidatesArguments) {
   const TraceSet set = TraceSet::in_memory(ring_actions());
   EXPECT_THROW(set.open(-1), tir::Error);
   EXPECT_THROW(set.open(4), tir::Error);
+}
+
+TEST_F(TraceIoTest, MergedFileRoundTripsThroughAllCodecs) {
+  // A merged file written in any of the three formats must reconstruct the
+  // same per-process streams. Note the recv lines carry no volume (the
+  // paper's Figure 1 shape) — historically only exercised through text.
+  const auto per_process = ring_actions();
+  std::vector<Action> merged;
+  for (const auto& actions : per_process)
+    merged.insert(merged.end(), actions.begin(), actions.end());
+
+  for (const TraceCodec* codec : all_codecs()) {
+    const auto file = dir_ / ("merged_" + std::string(codec->name()));
+    EXPECT_GT(codec->encode(file, merged, /*pid=*/-1), 0u)
+        << codec->name();
+    EXPECT_EQ(codec->decode(file), merged) << codec->name();
+
+    const TraceSet set = TraceSet::merged_file(file, 4);
+    for (int p = 0; p < 4; ++p) {
+      auto source = set.open(p);
+      std::vector<Action> back;
+      while (auto a = source->next()) back.push_back(*a);
+      EXPECT_EQ(back, per_process[static_cast<std::size_t>(p)])
+          << codec->name() << " pid " << p;
+    }
+    // One merged file = exactly one decode pass, however many streams.
+    EXPECT_EQ(set.decode_count(), 1u) << codec->name();
+  }
+}
+
+TEST_F(TraceIoTest, RecvWithoutVolumeRoundTripsThroughAllCodecs) {
+  // Figure 1: "p3 recv p2" — the matched send carries the volume. Zero
+  // volume must survive every codec (text omits the field entirely).
+  const std::vector<Action> actions = {
+      {5, ActionType::recv, 2, 0, 0, 0},
+      {5, ActionType::irecv, 3, 0, 0, 0},
+      {5, ActionType::send, 2, 4096, 0, 0},
+      {5, ActionType::recv, 2, 8192, 0, 0},  // explicit volume still works
+      {5, ActionType::wait, -1, 0, 0, 0},
+  };
+  for (const TraceCodec* codec : all_codecs()) {
+    const auto file = dir_ / ("recv_" + std::string(codec->name()));
+    codec->encode(file, actions, /*pid=*/5);
+    const auto back = codec->decode(file);
+    EXPECT_EQ(back, actions) << codec->name();
+    EXPECT_DOUBLE_EQ(back[0].volume, 0.0) << codec->name();
+  }
+}
+
+TEST_F(TraceIoTest, CodecRegistryDetectsFormats) {
+  const auto actions = ring_actions()[0];
+  const auto text = dir_ / "f.trace";
+  const auto bin = dir_ / "f.btrace";
+  const auto compact = dir_ / "f.ctrace";
+  codec_by_name("text").encode(text, actions, 0);
+  codec_by_name("binary").encode(bin, actions, 0);
+  codec_by_name("compact").encode(compact, actions, 0);
+  EXPECT_EQ(codec_for_file(text).name(), "text");
+  EXPECT_EQ(codec_for_file(bin).name(), "binary");
+  EXPECT_EQ(codec_for_file(compact).name(), "compact");
+  EXPECT_THROW(codec_by_name("tarot"), tir::Error);
+}
+
+TEST_F(TraceIoTest, TraceSetSharesDecodedStorageAcrossCopies) {
+  const auto paths = write_split_traces(dir_, ring_actions());
+  const TraceSet set = TraceSet::per_process_files(paths);
+  const TraceSet copy = set;  // cheap handle, same storage
+  EXPECT_EQ(copy.stats().actions, 12u);
+  EXPECT_EQ(set.decode_count(), 4u);
+  EXPECT_EQ(copy.decode_count(), 4u);
+  // Re-opening decodes nothing new.
+  for (int p = 0; p < 4; ++p) (void)set.open(p);
+  EXPECT_EQ(set.decode_count(), 4u);
 }
 
 TEST_F(TraceIoTest, TraceSetAutoDetectsBinaryFiles) {

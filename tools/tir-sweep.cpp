@@ -1,0 +1,351 @@
+// tir-sweep — replay many scenarios from one list file (the Table 2 /
+// what-if workload as a single command).
+//
+// Usage:
+//   tir-sweep [--workers N] [--format csv|json] [--output FILE] LIST
+//
+// The list file holds one scenario per non-comment line, as whitespace-
+// separated key=value pairs:
+//
+//   name=baseline platform=cluster.xml deployment=depl.xml traces=traces/
+//   name=fast-net platform=fast.xml   deployment=depl.xml traces=traces/
+//
+// Keys:
+//   name=LABEL             row label (default scenario-<index>)
+//   platform=FILE          platform XML (required)
+//   deployment=FILE        deployment XML (required unless merged= given a
+//                          hosts= mapping is derived from the deployment)
+//   traces=A,B,...         per-process trace files in pid order; a single
+//                          directory means its SG_process<i>.trace files
+//   merged=FILE:N          one merged trace file carrying N processes
+//   eager=BYTES            eager/rendezvous switch (e.g. 64KiB)
+//   collectives=flat|binomial
+//   efficiency=X           compute-rate scale
+//
+// A line starting with `default` sets defaults for every later scenario.
+// Relative paths resolve against the list file's directory. Platforms,
+// deployments and trace sets are cached by path: scenarios sharing a trace
+// set share one decoded copy (each file is parsed exactly once per sweep).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "platform/deployment.hpp"
+#include "platform/platform_file.hpp"
+#include "replay/sweep.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+using namespace tir;
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--format csv|json] [--output FILE] "
+               "SCENARIOS.list\n"
+               "see the header of tools/tir-sweep.cpp for the list format\n",
+               argv0);
+  std::exit(2);
+}
+
+int parse_int(const std::string& what, const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(what + ": expected an integer, got '" + s + "'");
+  }
+}
+
+double parse_double(const std::string& what, const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(what + ": expected a number, got '" + s + "'");
+  }
+}
+
+struct KeyValues {
+  std::map<std::string, std::string> kv;
+
+  const std::string* find(const std::string& key) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? nullptr : &it->second;
+  }
+};
+
+/// Shared immutable inputs, cached by path so a sweep loads/decodes once.
+struct InputCache {
+  fs::path base;  ///< list-file directory for relative paths
+  std::map<std::string, std::shared_ptr<const plat::Platform>> platforms;
+  std::map<std::string, plat::Deployment> deployments;
+  std::map<std::string, trace::TraceSet> trace_sets;
+
+  fs::path resolve(const std::string& path) const {
+    const fs::path p(path);
+    return p.is_absolute() ? p : base / p;
+  }
+
+  std::shared_ptr<const plat::Platform> platform(const std::string& file) {
+    auto it = platforms.find(file);
+    if (it == platforms.end())
+      it = platforms
+               .emplace(file, std::make_shared<const plat::Platform>(
+                                  plat::load_platform_file(
+                                      resolve(file).string())))
+               .first;
+    return it->second;
+  }
+
+  const plat::Deployment& deployment(const std::string& file) {
+    auto it = deployments.find(file);
+    if (it == deployments.end())
+      it = deployments
+               .emplace(file,
+                        plat::load_deployment_file(resolve(file).string()))
+               .first;
+    return it->second;
+  }
+
+  trace::TraceSet traces(const std::string& spec, bool merged) {
+    const std::string key = (merged ? "merged:" : "split:") + spec;
+    auto it = trace_sets.find(key);
+    if (it != trace_sets.end()) return it->second;
+
+    trace::TraceSet set;
+    if (merged) {
+      // merged=FILE:N — one file carrying N process streams.
+      const auto colon = spec.rfind(':');
+      if (colon == std::string::npos)
+        throw Error("merged=" + spec + ": expected FILE:NPROCS");
+      set = trace::TraceSet::merged_file(
+          resolve(spec.substr(0, colon)),
+          parse_int("merged=" + spec, spec.substr(colon + 1)));
+    } else {
+      std::vector<fs::path> files;
+      for (const auto& token : str::split(spec, ',')) {
+        const fs::path p = resolve(std::string(token));
+        if (fs::is_directory(p)) {
+          for (int pid = 0;; ++pid) {
+            const fs::path f =
+                p / ("SG_process" + std::to_string(pid) + ".trace");
+            if (!fs::exists(f)) break;
+            files.push_back(f);
+          }
+        } else {
+          files.push_back(p);
+        }
+      }
+      set = trace::TraceSet::per_process_files(std::move(files));
+    }
+    trace_sets.emplace(key, set);
+    return set;
+  }
+};
+
+KeyValues parse_tokens(const std::string& line, const fs::path& list_file,
+                       std::size_t line_no) {
+  KeyValues out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ParseError(list_file.string() + ":" + std::to_string(line_no) +
+                       ": expected key=value, got '" + token + "'");
+    out.kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
+                                    std::size_t index) {
+  replay::ScenarioSpec spec;
+  if (const auto* name = kv.find("name"))
+    spec.name = *name;
+  else
+    spec.name = "scenario-" + std::to_string(index);
+
+  const auto* platform = kv.find("platform");
+  if (platform == nullptr)
+    throw Error("scenario '" + spec.name + "': missing platform=");
+  spec.platform = cache.platform(*platform);
+
+  if (const auto* merged = kv.find("merged")) {
+    spec.traces = cache.traces(*merged, /*merged=*/true);
+  } else if (const auto* traces = kv.find("traces")) {
+    spec.traces = cache.traces(*traces, /*merged=*/false);
+  } else {
+    throw Error("scenario '" + spec.name + "': missing traces= or merged=");
+  }
+
+  const auto* deployment = kv.find("deployment");
+  if (deployment == nullptr)
+    throw Error("scenario '" + spec.name + "': missing deployment=");
+  spec.process_hosts =
+      cache.deployment(*deployment).resolve(*spec.platform);
+
+  if (const auto* eager = kv.find("eager"))
+    spec.config.mpi.eager_threshold = units::parse_bytes(*eager);
+  if (const auto* coll = kv.find("collectives")) {
+    if (*coll == "flat")
+      spec.config.mpi.collectives = mpi::CollectiveAlgo::flat;
+    else if (*coll == "binomial")
+      spec.config.mpi.collectives = mpi::CollectiveAlgo::binomial;
+    else
+      throw Error("scenario '" + spec.name + "': unknown collectives '" +
+                  *coll + "'");
+  }
+  if (const auto* eff = kv.find("efficiency"))
+    spec.config.compute_efficiency =
+        parse_double("scenario '" + spec.name + "': efficiency", *eff);
+  return spec;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string list_arg, format = "csv", output;
+  replay::SweepOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      const std::string n = next();
+      try {
+        options.workers = parse_int("--workers", n);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+      }
+    } else if (arg == "--format") {
+      format = next();
+      if (format != "csv" && format != "json") usage(argv[0]);
+    } else if (arg == "--output") {
+      output = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    } else if (list_arg.empty()) {
+      list_arg = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (list_arg.empty()) usage(argv[0]);
+
+  try {
+    const fs::path list_file(list_arg);
+    std::ifstream in(list_file);
+    if (!in)
+      throw IoError("cannot open scenario list '" + list_file.string() + "'");
+
+    InputCache cache;
+    cache.base = list_file.has_parent_path() ? list_file.parent_path()
+                                             : fs::path(".");
+
+    KeyValues defaults;
+    std::vector<replay::ScenarioSpec> scenarios;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto trimmed = std::string(str::trim(line));
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed.rfind("default", 0) == 0 &&
+          (trimmed.size() == 7 || trimmed[7] == ' ' || trimmed[7] == '\t')) {
+        const KeyValues d =
+            parse_tokens(trimmed.substr(7), list_file, line_no);
+        for (const auto& [k, v] : d.kv) defaults.kv[k] = v;
+        continue;
+      }
+      KeyValues kv = defaults;
+      const KeyValues own = parse_tokens(trimmed, list_file, line_no);
+      for (const auto& [k, v] : own.kv) kv.kv[k] = v;
+      scenarios.push_back(build_scenario(kv, cache, scenarios.size()));
+    }
+    if (scenarios.empty())
+      throw Error("scenario list '" + list_file.string() + "' is empty");
+
+    const replay::SweepRunner runner(options);
+    std::fprintf(stderr, "tir-sweep: %zu scenario(s) on %d worker(s)\n",
+                 scenarios.size(), runner.effective_workers(scenarios.size()));
+    const auto results = runner.run(scenarios);
+
+    std::ostringstream os;
+    if (format == "csv") {
+      os << "name,processes,actions_replayed,simulated_time,error\n";
+      for (const auto& r : results) {
+        os << r.name << ',';
+        if (r.ok)
+          os << r.replay.process_finish_times.size() << ','
+             << r.replay.actions_replayed << ',';
+        else
+          os << ",,";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9f", r.replay.simulated_time);
+        os << (r.ok ? buf : "") << ',' << (r.ok ? "" : r.error) << '\n';
+      }
+    } else {
+      os << "[\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        os << "  {\"name\": \"" << json_escape(r.name) << "\", \"ok\": "
+           << (r.ok ? "true" : "false");
+        if (r.ok) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.9f", r.replay.simulated_time);
+          os << ", \"processes\": " << r.replay.process_finish_times.size()
+             << ", \"actions_replayed\": " << r.replay.actions_replayed
+             << ", \"simulated_time\": " << buf;
+        } else {
+          os << ", \"error\": \"" << json_escape(r.error) << "\"";
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+      }
+      os << "]\n";
+    }
+
+    if (output.empty()) {
+      std::fputs(os.str().c_str(), stdout);
+    } else {
+      std::ofstream out(output);
+      if (!out) throw IoError("cannot write '" + output + "'");
+      out << os.str();
+    }
+
+    for (const auto& r : results)
+      if (!r.ok) return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tir-sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
