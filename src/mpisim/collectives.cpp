@@ -22,6 +22,7 @@ int absolute(int vrank, int root, int size) { return (vrank + root) % size; }
 }  // namespace
 
 sim::Co<void> Rank::bcast(std::uint64_t bytes, int root) {
+  OpScope scope(*this, "bcast");
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -56,6 +57,7 @@ sim::Co<void> Rank::bcast(std::uint64_t bytes, int root) {
 }
 
 sim::Co<void> Rank::reduce(std::uint64_t vcomm, double vcomp, int root) {
+  OpScope scope(*this, "reduce");
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) {
@@ -96,6 +98,7 @@ sim::Co<void> Rank::reduce(std::uint64_t vcomm, double vcomp, int root) {
 }
 
 sim::Co<void> Rank::allreduce(std::uint64_t vcomm, double vcomp) {
+  OpScope scope(*this, "allReduce");
   // Reduce to rank 0 followed by a broadcast — the classic pre-recursive-
   // doubling implementation, rooted at 0 as the paper prescribes.
   co_await reduce(vcomm, vcomp, 0);
@@ -103,12 +106,14 @@ sim::Co<void> Rank::allreduce(std::uint64_t vcomm, double vcomp) {
 }
 
 sim::Co<void> Rank::barrier() {
+  OpScope scope(*this, "barrier");
   // Gather-then-release through 1-byte binomial trees rooted at 0.
   co_await reduce(1, 0.0, 0);
   co_await bcast(1, 0);
 }
 
 sim::Co<void> Rank::gather(std::uint64_t bytes, int root) {
+  OpScope scope(*this, "gather");
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -145,6 +150,7 @@ sim::Co<void> Rank::gather(std::uint64_t bytes, int root) {
 }
 
 sim::Co<void> Rank::allgather(std::uint64_t bytes) {
+  OpScope scope(*this, "allGather");
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -169,6 +175,7 @@ sim::Co<void> Rank::allgather(std::uint64_t bytes) {
 }
 
 sim::Co<void> Rank::alltoall(std::uint64_t bytes) {
+  OpScope scope(*this, "allToAll");
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;

@@ -130,8 +130,33 @@ class Rank final : public MpiApi {
   sim::Co<void> allgather(std::uint64_t bytes) override;
   sim::Co<void> alltoall(std::uint64_t bytes) override;
 
+  /// One-line description of what this rank is doing right now — the MPI
+  /// call in progress, the request being awaited, and the matching-queue
+  /// contents. The engine's deadlock diagnostics call this for every
+  /// blocked rank (see World::launch_rank).
+  std::string describe_state() const;
+
  private:
   friend class World;
+
+  /// RAII marker for an MPI call in progress. Only the outermost label is
+  /// kept: a barrier blocked inside its tree reports "barrier", not the
+  /// internal recv it is built from.
+  struct OpScope {
+    explicit OpScope(Rank& r, const char* label) : rank(r) {
+      if (rank.op_depth_++ == 0) rank.op_label_ = label;
+    }
+    ~OpScope() {
+      if (--rank.op_depth_ == 0) {
+        rank.op_label_.clear();
+        rank.op_detail_.clear();
+      }
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+    Rank& rank;
+  };
+
   World* world_ = nullptr;
   int rank_ = -1;
   int host_ = -1;
@@ -147,6 +172,11 @@ class Rank final : public MpiApi {
   };
   std::deque<InMsg> unexpected_;
   std::deque<Request> posted_;
+
+  // Diagnostics state (see OpScope / describe_state).
+  int op_depth_ = 0;
+  std::string op_label_;   ///< outermost MPI call in progress
+  std::string op_detail_;  ///< innermost await (set by wait())
 
   void deliver(InMsg message);
   void fill_match(detail::RequestState& recv_state, const InMsg& message);
@@ -195,6 +225,8 @@ struct RequestState {
   // Common.
   std::uint64_t bytes = 0;
   int tag = 0;
+  // Destination rank for sends (diagnostics); -1 for recv requests.
+  int peer = -1;
 
   // send_eager / matched-eager recv: the payload transfer.
   sim::ActivityPtr transfer;

@@ -12,6 +12,7 @@ int Rank::size() const { return world_->size(); }
 sim::Engine& Rank::engine() const { return world_->engine(); }
 
 sim::Co<void> Rank::compute(double flops, double efficiency) {
+  OpScope scope(*this, "compute");
   auto exec = engine().exec_async(host_, flops, efficiency);
   co_await engine().wait(exec);
 }
@@ -23,7 +24,55 @@ bool matches(const RequestState& recv, int src, int tag) {
          (recv.tag == kAnyTag || recv.tag == tag);
 }
 
+std::string rank_str(int rank) {
+  return rank == kAnySource ? std::string("any") : std::to_string(rank);
+}
+
+std::string tag_str(int tag) {
+  if (tag == kAnyTag) return "any";
+  if (tag >= kCollectiveTagBase)
+    return "coll#" + std::to_string(tag - kCollectiveTagBase);
+  return std::to_string(tag);
+}
+
+std::string describe_request(const RequestState& state) {
+  switch (state.kind) {
+    case RequestState::Kind::send_eager:
+      return "eager send(dst=" + rank_str(state.peer) +
+             ", tag=" + tag_str(state.tag) + ", " +
+             std::to_string(state.bytes) + "B) buffer copy";
+    case RequestState::Kind::send_rendezvous:
+      return "rendezvous send(dst=" + rank_str(state.peer) +
+             ", tag=" + tag_str(state.tag) + ", " +
+             std::to_string(state.bytes) + "B) handshake";
+    case RequestState::Kind::recv:
+      return "recv(src=" + rank_str(state.src) +
+             ", tag=" + tag_str(state.tag) + ") match";
+  }
+  return "request";
+}
+
 }  // namespace
+
+std::string Rank::describe_state() const {
+  std::string s = op_label_.empty() ? std::string("outside any MPI call")
+                                    : "in " + op_label_;
+  if (!op_detail_.empty()) s += " awaiting " + op_detail_;
+  s += "; queues: " + std::to_string(unexpected_.size()) + " unexpected, " +
+       std::to_string(posted_.size()) + " posted";
+  std::size_t listed = 0;
+  for (const auto& req : posted_) {
+    if (listed == 3) {
+      s += ", ...";
+      break;
+    }
+    s += (listed == 0 ? " [" : "; ");
+    s += "recv src=" + rank_str(req->src) + " tag=" + tag_str(req->tag);
+    ++listed;
+  }
+  if (listed > 0) s += "]";
+  return s;
+}
 
 void Rank::fill_match(RequestState& recv_state, const InMsg& message) {
   recv_state.bytes = message.bytes;
@@ -60,6 +109,7 @@ Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
   auto state = std::make_shared<RequestState>();
   state->bytes = bytes;
   state->tag = tag;
+  state->peer = dst;
 
   InMsg message;
   message.src = rank_;
@@ -113,6 +163,8 @@ sim::Co<void> Rank::wait(Request request) {
   if (!request) co_return;
   RequestState& state = *request;
   if (state.completed) co_return;
+  OpScope scope(*this, "wait");
+  op_detail_ = describe_request(state);
   switch (state.kind) {
     case RequestState::Kind::send_eager:
       // The sender only waits for its local buffer copy; the payload
@@ -127,6 +179,8 @@ sim::Co<void> Rank::wait(Request request) {
       if (state.rendezvous) {
         // Receiver drives the handshake: one control latency, then the
         // payload, then release the sender.
+        op_detail_ = "rendezvous payload from rank " +
+                     std::to_string(state.matched_src);
         if (state.control_latency > 0)
           co_await engine().wait(
               engine().timer_async(state.control_latency));
@@ -136,23 +190,29 @@ sim::Co<void> Rank::wait(Request request) {
         co_await engine().wait(transfer);
         state.peer_gate->open();
       } else if (state.transfer) {
+        op_detail_ = "eager payload from rank " +
+                     std::to_string(state.matched_src);
         co_await engine().wait(state.transfer);
       }
       break;
     }
   }
+  op_detail_.clear();
   state.completed = true;
 }
 
 sim::Co<void> Rank::waitall(std::vector<Request> requests) {
+  OpScope scope(*this, "waitAll");
   for (auto& request : requests) co_await wait(std::move(request));
 }
 
 sim::Co<void> Rank::send(int dst, std::uint64_t bytes, int tag) {
+  OpScope scope(*this, "send");
   co_await wait(isend(dst, bytes, tag));
 }
 
 sim::Co<void> Rank::recv(int src, std::uint64_t bytes, int tag) {
+  OpScope scope(*this, "recv");
   co_await wait(irecv(src, bytes, tag));
 }
 

@@ -23,7 +23,14 @@ World::World(sim::Engine& engine, std::vector<int> rank_hosts, Config config)
   }
 }
 
-World::~World() = default;
+World::~World() {
+  // Rank bodies suspended mid-await (a deadlocked recv, an error elsewhere
+  // unwinding the caller) hold OpScope guards into our ranks_. Destroy the
+  // frames now, while the ranks are still alive; the engine outlives us
+  // (we hold a reference to it), so leaving this to ~Engine would be a
+  // use-after-free.
+  engine_.drop_frames();
+}
 
 Rank& World::rank(int r) {
   if (r < 0 || static_cast<std::size_t>(r) >= ranks_.size())
@@ -37,10 +44,15 @@ void World::launch(std::function<sim::Co<void>(Rank&)> body) {
 
 void World::launch_rank(int r, std::function<sim::Co<void>(Rank&)> body) {
   Rank* rank = &this->rank(r);
-  engine_.spawn("rank-" + std::to_string(r), rank->host(),
-                [rank, body = std::move(body)](sim::Process&) -> sim::Task {
-                  co_await body(*rank);
-                });
+  sim::Process& process =
+      engine_.spawn("rank-" + std::to_string(r), rank->host(),
+                    [rank, body = std::move(body)](sim::Process&) -> sim::Task {
+                      co_await body(*rank);
+                    });
+  // Deadlock diagnostics: let the engine ask this rank what it is blocked
+  // on (the Rank outlives the process — both are owned by World/Engine,
+  // which outlive engine.run()).
+  process.set_diagnostics([rank] { return rank->describe_state(); });
 }
 
 void World::check_quiescent() const {

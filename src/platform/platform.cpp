@@ -75,6 +75,12 @@ std::optional<HostId> Platform::find_host(const std::string& name) const {
   return it->second;
 }
 
+std::optional<LinkId> Platform::find_link(const std::string& name) const {
+  for (std::size_t l = 0; l < links_.size(); ++l)
+    if (links_[l].name == name) return static_cast<LinkId>(l);
+  return std::nullopt;
+}
+
 namespace {
 std::uint64_t pair_key(HostId a, HostId b) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |

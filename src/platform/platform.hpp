@@ -89,6 +89,9 @@ class Platform {
   HostId host_by_name(const std::string& name) const;
   /// Returns std::nullopt when absent.
   std::optional<HostId> find_host(const std::string& name) const;
+  /// Looks a link up by name (linear scan — fault-injection setup only).
+  /// Returns std::nullopt when absent.
+  std::optional<LinkId> find_link(const std::string& name) const;
 
   /// Computes the route between two hosts. src == dst yields the loopback
   /// link (or an empty zero-latency route when no loopback is configured).

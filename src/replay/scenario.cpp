@@ -1,5 +1,9 @@
 #include "replay/scenario.hpp"
 
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -11,14 +15,77 @@ std::shared_ptr<const plat::Platform> share_platform(
       std::shared_ptr<const plat::Platform>{}, &platform);
 }
 
-ReplayResult run_scenario(const ScenarioSpec& spec) {
-  ActionRegistry registry = ActionRegistry::with_defaults();
-  if (spec.customize_registry) spec.customize_registry(registry);
-  return run_scenario(spec, registry);
+std::string_view to_string(ReplayStatus status) {
+  switch (status) {
+    case ReplayStatus::ok: return "ok";
+    case ReplayStatus::deadlock: return "deadlock";
+    case ReplayStatus::failed: return "failed";
+  }
+  return "unknown";
 }
 
-ReplayResult run_scenario(const ScenarioSpec& spec,
-                          const ActionRegistry& registry) {
+namespace {
+
+/// A FaultSpec with its target resolved against the scenario's platform.
+struct ResolvedFault {
+  FaultSpec::Kind kind;
+  double at_time;
+  int id;
+  double compute_factor;
+  double bandwidth_factor;
+  double latency_factor;
+};
+
+std::vector<ResolvedFault> resolve_faults(const ScenarioSpec& spec) {
+  std::vector<ResolvedFault> out;
+  out.reserve(spec.faults.size());
+  const plat::Platform& platform = *spec.platform;
+  for (const FaultSpec& f : spec.faults) {
+    ResolvedFault r;
+    r.kind = f.kind;
+    r.at_time = f.at_time;
+    r.compute_factor = f.compute_factor;
+    r.bandwidth_factor = f.bandwidth_factor;
+    r.latency_factor = f.latency_factor;
+    if (f.at_time < 0)
+      throw SimError("fault: activation time must be non-negative");
+    if (f.compute_factor <= 0 || f.bandwidth_factor <= 0 ||
+        f.latency_factor < 0)
+      throw SimError("fault: factors must be positive "
+                     "(latency factor non-negative)");
+    if (f.kind == FaultSpec::Kind::host) {
+      if (f.target.empty()) {
+        r.id = f.id;
+      } else {
+        const auto host = platform.find_host(f.target);
+        if (!host) throw SimError("fault: unknown host '" + f.target + "'");
+        r.id = *host;
+      }
+      if (r.id < 0 || static_cast<std::size_t>(r.id) >= platform.host_count())
+        throw SimError("fault: unknown host " +
+                       (f.target.empty() ? std::to_string(f.id) : f.target));
+    } else {
+      if (f.target.empty()) {
+        r.id = f.id;
+      } else {
+        const auto link = platform.find_link(f.target);
+        if (!link) throw SimError("fault: unknown link '" + f.target + "'");
+        r.id = *link;
+      }
+      if (r.id < 0 || static_cast<std::size_t>(r.id) >= platform.link_count())
+        throw SimError("fault: unknown link " +
+                       (f.target.empty() ? std::to_string(f.id) : f.target));
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+// Body of a replay; writes into `result` as it goes so a caller catching a
+// SimError (deadlock, mismatch) still sees the partial progress — how many
+// actions replayed, which processes finished — at the instant it stopped.
+void run_scenario_into(const ScenarioSpec& spec, const ActionRegistry& registry,
+                       ReplayResult& result) {
   if (!spec.platform) throw SimError("scenario: no platform");
   const int nprocs = spec.traces.nprocs();
   if (nprocs == 0) throw SimError("scenario: empty trace set");
@@ -27,6 +94,7 @@ ReplayResult run_scenario(const ScenarioSpec& spec,
                    std::to_string(spec.process_hosts.size()) +
                    " processes but the trace set has " +
                    std::to_string(nprocs));
+  const std::vector<ResolvedFault> faults = resolve_faults(spec);
 
   // Every mutable piece of the simulation lives below this line, scoped to
   // this call: the engine (event heaps, route cache, fluid state), the MPI
@@ -34,7 +102,6 @@ ReplayResult run_scenario(const ScenarioSpec& spec,
   sim::Engine engine(*spec.platform);
   mpi::World world(engine, spec.process_hosts, spec.config.mpi);
 
-  ReplayResult result;
   result.process_finish_times.assign(static_cast<std::size_t>(nprocs), 0.0);
 
   std::vector<std::unique_ptr<ReplayCtx>> contexts;
@@ -67,10 +134,96 @@ ReplayResult run_scenario(const ScenarioSpec& spec,
       result.process_finish_times[static_cast<std::size_t>(p)] = engine.now();
     });
   }
-  engine.run();
-  result.simulated_time = engine.now();
+
+  // One injector process per fault: sleep until the activation time, then
+  // degrade the resource. Injectors run on the first replay host but consume
+  // no compute — only a timer.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ResolvedFault& fault = faults[i];
+    engine.spawn("fault-" + std::to_string(i), spec.process_hosts[0],
+                 [fault, &engine](sim::Process&) -> sim::Task {
+                   if (fault.at_time > 0) co_await engine.wait_for(fault.at_time);
+                   if (fault.kind == FaultSpec::Kind::host)
+                     engine.degrade_host(fault.id, fault.compute_factor);
+                   else
+                     engine.degrade_link(fault.id, fault.bandwidth_factor,
+                                         fault.latency_factor);
+                 });
+  }
+
+  try {
+    engine.run();
+  } catch (...) {
+    // Suspended rank bodies hold guards into `world` and `contexts`, both
+    // of which unwind before `engine`. Drop the frames while they live.
+    engine.drop_frames();
+    throw;
+  }
+  // A fault timer set past the end of the replay legitimately extends
+  // engine.now() beyond the last rank's finish; the makespan is the ranks'.
+  if (faults.empty()) {
+    result.simulated_time = engine.now();
+  } else {
+    double makespan = 0.0;
+    for (const double t : result.process_finish_times)
+      makespan = std::max(makespan, t);
+    result.simulated_time = makespan;
+  }
   result.engine_stats = engine.stats();
+}
+
+}  // namespace
+
+ReplayResult run_scenario(const ScenarioSpec& spec) {
+  ActionRegistry registry = ActionRegistry::with_defaults();
+  if (spec.customize_registry) spec.customize_registry(registry);
+  return run_scenario(spec, registry);
+}
+
+ReplayResult run_scenario(const ScenarioSpec& spec,
+                          const ActionRegistry& registry) {
+  ReplayResult result;
+  run_scenario_into(spec, registry, result);
   return result;
+}
+
+ReplayReport run_scenario_report(const ScenarioSpec& spec) {
+  ReplayReport report;
+  // Trace decoding happens before simulation state exists, so a parse error
+  // here is a clean "failed" report with zero coverage.
+  std::uint64_t total_actions = 0;
+  try {
+    total_actions = spec.traces.stats().actions;
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    return report;
+  }
+  const auto coverage = [&](std::uint64_t replayed) {
+    return total_actions == 0
+               ? 0.0
+               : static_cast<double>(replayed) /
+                     static_cast<double>(total_actions);
+  };
+
+  try {
+    ActionRegistry registry = ActionRegistry::with_defaults();
+    if (spec.customize_registry) spec.customize_registry(registry);
+    run_scenario_into(spec, registry, report.result);
+    report.status = ReplayStatus::ok;
+    report.sim_time = report.result.simulated_time;
+    report.coverage = 1.0;
+  } catch (const DeadlockError& e) {
+    report.status = ReplayStatus::deadlock;
+    report.sim_time = e.sim_time();
+    report.coverage = coverage(report.result.actions_replayed);
+    report.error = e.what();
+    report.diagnostics = e.blocked();
+  } catch (const std::exception& e) {
+    report.status = ReplayStatus::failed;
+    report.coverage = coverage(report.result.actions_replayed);
+    report.error = e.what();
+  }
+  return report;
 }
 
 }  // namespace tir::replay

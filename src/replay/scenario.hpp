@@ -45,6 +45,27 @@ struct ReplayResult {
   std::vector<TimedAction> timed_trace;     ///< when requested
 };
 
+/// One injected fault: a host or link degrading at a simulated time. The
+/// "what does LU look like when one gdx link drops to 100 Mb/s" workload —
+/// factors scale the platform's nominal values (1.0 = healthy, 0.1 = a link
+/// at a tenth of its bandwidth), activating when the replay's simulated
+/// clock reaches `at_time`. Activities already running are re-rated;
+/// latency changes apply to transfers started after activation.
+struct FaultSpec {
+  enum class Kind { host, link };
+  Kind kind = Kind::host;
+  double at_time = 0.0;          ///< simulated seconds at which it activates
+
+  /// Target by platform name (host name or link name); when empty, `id` is
+  /// used directly.
+  std::string target;
+  int id = -1;
+
+  double compute_factor = 1.0;   ///< host faults: power multiplier (> 0)
+  double bandwidth_factor = 1.0; ///< link faults: bandwidth multiplier (> 0)
+  double latency_factor = 1.0;   ///< link faults: latency multiplier (>= 0)
+};
+
 /// The immutable description of one replay run.
 struct ScenarioSpec {
   /// Label carried through sweep results and CLI tables.
@@ -61,6 +82,9 @@ struct ScenarioSpec {
   trace::TraceSet traces;
 
   ReplayConfig config;
+
+  /// Faults injected into this scenario's platform during replay.
+  std::vector<FaultSpec> faults;
 
   /// Optional hook to override Table 1 action semantics for this scenario;
   /// it receives a registry pre-loaded with the defaults.
@@ -81,5 +105,33 @@ ReplayResult run_scenario(const ScenarioSpec& spec);
 /// compatibility path). `registry` is only read.
 ReplayResult run_scenario(const ScenarioSpec& spec,
                           const ActionRegistry& registry);
+
+// -- structured outcome reporting -------------------------------------------
+
+enum class ReplayStatus {
+  ok,        ///< every action replayed; sim_time is the makespan
+  deadlock,  ///< engine quiesced with blocked ranks; diagnostics name them
+  failed,    ///< setup or replay error (bad spec, parse failure, ...)
+};
+
+std::string_view to_string(ReplayStatus status);
+
+/// Structured outcome of one replay: status + partial results instead of
+/// throw-or-double. A deadlocked replay still reports how far it got
+/// (`coverage` = actions replayed / actions in the trace set) and carries
+/// one diagnostic line per blocked rank.
+struct ReplayReport {
+  ReplayStatus status = ReplayStatus::failed;
+  double sim_time = 0.0;   ///< makespan (ok) or time progress stopped
+  double coverage = 0.0;   ///< fraction of trace actions replayed (1.0 = all)
+  std::string error;       ///< exception text when status != ok
+  std::vector<std::string> diagnostics;  ///< per-blocked-rank (deadlock)
+  ReplayResult result;     ///< full result (partial unless status == ok)
+};
+
+/// Replays one scenario, never throws on simulation failures: deadlocks and
+/// errors come back as a report. (Non-std exceptions from user registry
+/// hooks still propagate.)
+ReplayReport run_scenario_report(const ScenarioSpec& spec);
 
 }  // namespace tir::replay

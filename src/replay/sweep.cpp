@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -26,11 +27,23 @@ namespace {
 void run_one(const ScenarioSpec& spec, SweepResult& slot) {
   slot.name = spec.name;
   try {
-    slot.replay = run_scenario(spec);
-    slot.ok = true;
+    ReplayReport report = run_scenario_report(spec);
+    slot.status = report.status;
+    slot.ok = report.status == ReplayStatus::ok;
+    slot.coverage = report.coverage;
+    slot.error = std::move(report.error);
+    slot.diagnostics = std::move(report.diagnostics);
+    slot.replay = std::move(report.result);
   } catch (const std::exception& e) {
+    // run_scenario_report only lets non-simulation exceptions escape
+    // (e.g. bad_alloc); record them too rather than tearing the pool down.
+    slot.status = ReplayStatus::failed;
     slot.ok = false;
     slot.error = e.what();
+  } catch (...) {
+    slot.status = ReplayStatus::failed;
+    slot.ok = false;
+    slot.error = "unknown exception";
   }
 }
 

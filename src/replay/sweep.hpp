@@ -28,12 +28,18 @@ struct SweepOptions {
   bool rethrow_errors = false;
 };
 
-/// Outcome of one scenario, in submission order.
+/// Outcome of one scenario, in submission order. A failing scenario — bad
+/// spec, corrupt trace, deadlocked replay, even a non-std exception from a
+/// registry hook — is isolated to its slot: the pool keeps draining and the
+/// result records what went wrong (status, error, per-rank diagnostics).
 struct SweepResult {
   std::string name;        ///< copied from the spec
-  bool ok = false;
+  bool ok = false;         ///< status == ReplayStatus::ok
+  ReplayStatus status = ReplayStatus::failed;
+  double coverage = 0.0;   ///< fraction of trace actions replayed
   std::string error;       ///< exception message when !ok
-  ReplayResult replay;     ///< valid when ok
+  std::vector<std::string> diagnostics;  ///< per-blocked-rank (deadlock)
+  ReplayResult replay;     ///< full when ok, partial otherwise
 };
 
 class SweepRunner {

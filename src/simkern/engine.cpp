@@ -33,11 +33,13 @@ Engine::Engine(const plat::Platform& platform, EngineConfig config)
     link_res_.push_back(
         net_lmm_.add_resource(platform.link(static_cast<int>(l)).bandwidth));
   host_execs_.resize(platform.host_count());
+  host_power_factor_.assign(platform.host_count(), 1.0);
+  link_latency_factor_.assign(platform.link_count(), 1.0);
 }
 
-Engine::~Engine() {
-  // Destroy remaining coroutine frames (reverse creation order). Frames
-  // suspended at final_suspend or at any await point are safe to destroy.
+Engine::~Engine() { drop_frames(); }
+
+void Engine::drop_frames() {
   for (auto it = processes_.rbegin(); it != processes_.rend(); ++it) {
     if ((*it)->coro_) {
       (*it)->coro_.destroy();
@@ -101,8 +103,9 @@ void Engine::set_rate(const ActivityPtr& activity, FluidState& fluid,
 void Engine::reschedule_host(int host) {
   auto& execs = host_execs_[static_cast<std::size_t>(host)];
   if (execs.empty()) return;
-  const double rate =
-      platform_.host(host).power / static_cast<double>(execs.size());
+  const double rate = platform_.host(host).power *
+                      host_power_factor_[static_cast<std::size_t>(host)] /
+                      static_cast<double>(execs.size());
   for (const auto& exec : execs) {
     if (exec->fluid.rate != rate) set_rate(exec, exec->fluid, rate);
   }
@@ -153,13 +156,43 @@ const Engine::CachedRoute& Engine::cached_route(int src_host, int dst_host) {
   if (it == route_cache_.end()) {
     const plat::Route route = platform_.route(src_host, dst_host);
     CachedRoute cached;
-    cached.latency = route.latency;
+    // Sum per-link latencies ourselves so link degradation factors apply
+    // (equals route.latency when every factor is 1.0).
+    cached.latency = 0.0;
     cached.resources.reserve(route.links.size());
-    for (const auto link : route.links)
+    for (const auto link : route.links) {
+      cached.latency += platform_.link(link).latency *
+                        link_latency_factor_[static_cast<std::size_t>(link)];
       cached.resources.push_back(link_res_[static_cast<std::size_t>(link)]);
+    }
     it = route_cache_.emplace(key, std::move(cached)).first;
   }
   return it->second;
+}
+
+void Engine::degrade_host(int host, double factor) {
+  if (host < 0 || static_cast<std::size_t>(host) >= platform_.host_count())
+    throw SimError("degrade_host: unknown host id " + std::to_string(host));
+  if (factor <= 0) throw SimError("degrade_host: factor must be > 0");
+  host_power_factor_[static_cast<std::size_t>(host)] = factor;
+  // reschedule_host re-rates every running Exec whose equal share changed
+  // (set_rate catches each fluid up at its old rate first).
+  reschedule_host(host);
+}
+
+void Engine::degrade_link(int link, double bandwidth_factor,
+                          double latency_factor) {
+  if (link < 0 || static_cast<std::size_t>(link) >= platform_.link_count())
+    throw SimError("degrade_link: unknown link id " + std::to_string(link));
+  if (bandwidth_factor <= 0)
+    throw SimError("degrade_link: bandwidth factor must be > 0");
+  if (latency_factor < 0)
+    throw SimError("degrade_link: latency factor must be >= 0");
+  net_lmm_.set_capacity(link_res_[static_cast<std::size_t>(link)],
+                        platform_.link(link).bandwidth * bandwidth_factor);
+  link_latency_factor_[static_cast<std::size_t>(link)] = latency_factor;
+  // Cached route latencies embed the old factor; rebuild lazily.
+  route_cache_.clear();
 }
 
 double Engine::route_latency(int src_host, int dst_host) {
@@ -348,17 +381,29 @@ void Engine::run() {
     std::rethrow_exception(error);
   }
   if (live_processes_ > 0 && config_.deadlock_is_error) {
-    std::ostringstream os;
-    os << "deadlock: " << live_processes_
-       << " process(es) blocked with no pending event:";
-    int listed = 0;
+    // Build one diagnostic line per blocked process. The quiescent state is
+    // deterministic (same trace + platform => same blocked set), so these
+    // diagnostics are stable across runs and worker counts.
+    std::vector<std::string> blocked;
     for (const auto& p : processes_) {
-      if (!p->finished() && listed < 10) {
-        os << ' ' << p->name();
-        ++listed;
-      }
+      if (p->finished()) continue;
+      std::string line =
+          p->name() + " on host " + std::to_string(p->host()) + ": " +
+          (p->diagnostics_ ? p->diagnostics_() : std::string("blocked"));
+      blocked.push_back(std::move(line));
     }
-    throw SimError(os.str());
+    std::ostringstream os;
+    os << "deadlock at t=" << now_ << ": " << live_processes_
+       << " process(es) blocked with no pending event:";
+    std::size_t listed = 0;
+    for (const auto& line : blocked) {
+      if (listed++ == 10) {
+        os << " [+" << (blocked.size() - 10) << " more]";
+        break;
+      }
+      os << "\n  " << line;
+    }
+    throw DeadlockError(os.str(), now_, std::move(blocked));
   }
 }
 

@@ -42,6 +42,13 @@ class Process {
   const std::string& name() const { return name_; }
   bool finished() const { return finished_; }
 
+  /// Installs a callback describing what this process is blocked on; the
+  /// engine calls it when it detects a deadlock to build per-actor
+  /// diagnostics (the MPI world wires this to Rank state).
+  void set_diagnostics(std::function<std::string()> fn) {
+    diagnostics_ = std::move(fn);
+  }
+
  private:
   friend class Engine;
   friend struct Task::promise_type::FinalAwaiter;
@@ -50,6 +57,7 @@ class Process {
   std::string name_;
   bool finished_ = false;
   Engine* engine_ = nullptr;
+  std::function<std::string()> diagnostics_;
   Task::Handle coro_;
   // The body callable must outlive its coroutine frame: a coroutine lambda
   // references its own closure object, so the Process owns it.
@@ -90,6 +98,14 @@ class Engine {
   /// process body, or SimError on deadlock (see EngineConfig).
   void run();
 
+  /// Destroys all remaining coroutine frames (reverse creation order) —
+  /// frames suspended at any await point are safe to destroy. Call this
+  /// before objects referenced by frame locals (MPI ranks, replay contexts)
+  /// go out of scope: after run() throws, suspended frames still hold RAII
+  /// guards into them, and leaving teardown to ~Engine would run those
+  /// destructors after the referents are gone. Idempotent; ~Engine calls it.
+  void drop_frames();
+
   // -- activity factories (started immediately) ---------------------------
 
   /// Computation of `flops` on `host` at `efficiency` * nominal speed.
@@ -112,6 +128,23 @@ class Engine {
 
   /// Nominal one-way route latency between two hosts (cached).
   double route_latency(int src_host, int dst_host);
+
+  // -- fault injection ------------------------------------------------------
+  // Degradations take effect immediately: running Execs/flows are re-rated,
+  // and activities started afterwards see the degraded platform. They model
+  // a host or link failing *partially* mid-simulation (the "Variability
+  // Matters" workload); factors compose multiplicatively with the platform's
+  // nominal values and may later be restored by passing 1.0.
+
+  /// Scales `host`'s compute power by `factor` (> 0) from the current
+  /// simulated time onwards.
+  void degrade_host(int host, double factor);
+
+  /// Scales a link's bandwidth by `bandwidth_factor` (> 0) and its latency
+  /// by `latency_factor` (>= 0) from the current simulated time onwards.
+  /// Flowing transfers are re-solved; latency applies to transfers started
+  /// after the call.
+  void degrade_link(int link, double bandwidth_factor, double latency_factor);
 
   GatePtr make_gate();
 
@@ -211,6 +244,11 @@ class Engine {
 
   // CPU scheduling state; active execs per host, kept alive by the engine.
   std::vector<std::vector<std::shared_ptr<Exec>>> host_execs_;
+
+  // Fault-injection state: multiplicative degradation factors over the
+  // platform's nominal host powers and link latencies (1.0 = healthy).
+  std::vector<double> host_power_factor_;
+  std::vector<double> link_latency_factor_;
 
   std::unordered_map<std::uint64_t, CachedRoute> route_cache_;
 

@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace tir {
 
@@ -31,6 +32,28 @@ class SimError : public Error {
 class IoError : public Error {
  public:
   explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// The simulation quiesced with blocked actors: no pending event can ever
+/// unblock them. Carries one diagnostic line per blocked actor ("rank-3 on
+/// host 3: in recv ...; queues: ...") and the simulated time at which
+/// progress stopped, so replay tooling can report *who* is stuck on *what*
+/// instead of a bare "deadlock".
+class DeadlockError : public SimError {
+ public:
+  DeadlockError(const std::string& what, double sim_time,
+                std::vector<std::string> blocked)
+      : SimError(what), sim_time_(sim_time), blocked_(std::move(blocked)) {}
+
+  /// Simulated time at which the engine ran out of events.
+  double sim_time() const noexcept { return sim_time_; }
+
+  /// One human-readable diagnostic per blocked actor.
+  const std::vector<std::string>& blocked() const noexcept { return blocked_; }
+
+ private:
+  double sim_time_;
+  std::vector<std::string> blocked_;
 };
 
 /// Throws ParseError with a location prefix. Convenience for parsers.

@@ -131,6 +131,11 @@ BinaryTraceReader::BinaryTraceReader(const std::filesystem::path& path)
   default_pid_ = pid_plus_1 == 0 ? -1 : static_cast<int>(pid_plus_1 - 1);
 }
 
+std::uint64_t BinaryTraceReader::byte_offset() {
+  const auto pos = in_.tellg();
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+}
+
 std::uint64_t BinaryTraceReader::get_varint() {
   std::uint64_t value = 0;
   int shift = 0;

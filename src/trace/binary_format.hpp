@@ -57,6 +57,11 @@ class BinaryTraceReader {
 
   std::optional<Action> next();
 
+  /// Current read position in bytes (salvage decoding snapshots it before
+  /// each record to locate the clean prefix). 0 when the stream is in a
+  /// failed state.
+  std::uint64_t byte_offset();
+
  private:
   std::uint64_t get_varint();
   double get_double();

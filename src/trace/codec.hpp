@@ -10,12 +10,24 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "trace/action.hpp"
 
 namespace tir::trace {
+
+/// Result of a lenient (salvage) decode: the longest cleanly decodable
+/// prefix of a damaged file, plus how much of the file that prefix covers.
+/// A clean file salvages completely (complete == true, consumed == total).
+struct DecodedTrace {
+  std::vector<Action> actions;
+  bool complete = true;              ///< reached end-of-file without error
+  std::string error;                 ///< first decode error when !complete
+  std::uint64_t bytes_consumed = 0;  ///< size of the clean prefix
+  std::uint64_t bytes_total = 0;     ///< on-disk file size
+};
 
 class TraceCodec {
  public:
@@ -32,6 +44,13 @@ class TraceCodec {
   /// Throws tir::IoError / tir::ParseError.
   virtual std::vector<Action> decode(
       const std::filesystem::path& path) const = 0;
+
+  /// Lenient decode: never throws on corrupt input, returning instead the
+  /// longest cleanly decodable prefix and the first error. The default is
+  /// all-or-nothing (formats without record-level framing); text and binary
+  /// override it with per-line / per-record salvage.
+  virtual DecodedTrace decode_salvage(
+      const std::filesystem::path& path) const;
 
   /// Writes `actions` to `path`. `pid` >= 0 marks a per-process file where
   /// the format can factor the process id out; -1 keeps per-record pids

@@ -52,10 +52,32 @@ TraceStats& TraceStats::operator+=(const TraceStats& other) {
 struct TraceSet::Storage {
   enum class Layout { split, merged, memory } layout = Layout::memory;
   int nprocs = 0;
+  DecodeMode mode = DecodeMode::strict;
   std::vector<std::filesystem::path> files;
   std::vector<std::vector<Action>> decoded;       // index = pid
+  std::vector<SalvageInfo> salvage;               // index = file
   std::unique_ptr<std::once_flag[]> decode_once;  // one per file
   std::atomic<std::uint64_t> decodes{0};
+
+  /// Decodes one file honouring the mode: strict throws on corrupt input,
+  /// lenient keeps the clean prefix and records the outcome in `salvage`.
+  std::vector<Action> decode_file(std::size_t index) {
+    const auto& path = files[index];
+    if (mode == DecodeMode::strict) {
+      auto actions = codec_for_file(path).decode(path);
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      salvage[index].bytes_consumed = salvage[index].bytes_total =
+          ec ? 0 : size;
+      return actions;
+    }
+    DecodedTrace result = codec_for_file(path).decode_salvage(path);
+    salvage[index].complete = result.complete;
+    salvage[index].error = std::move(result.error);
+    salvage[index].bytes_consumed = result.bytes_consumed;
+    salvage[index].bytes_total = result.bytes_total;
+    return std::move(result.actions);
+  }
 
   /// Ensures process `pid`'s actions are decoded; returns them.
   const std::vector<Action>& process_actions(int pid) {
@@ -65,21 +87,28 @@ struct TraceSet::Storage {
       case Layout::split: {
         const auto index = static_cast<std::size_t>(pid);
         std::call_once(decode_once[index], [&] {
-          const auto& path = files[index];
-          decoded[index] = codec_for_file(path).decode(path);
+          decoded[index] = decode_file(index);
           decodes.fetch_add(1, std::memory_order_relaxed);
         });
         break;
       }
       case Layout::merged:
         std::call_once(decode_once[0], [&] {
-          auto all = codec_for_file(files.front()).decode(files.front());
+          auto all = decode_file(0);
           for (Action& a : all) {
-            if (a.pid < 0 || a.pid >= nprocs)
-              throw ParseError(files.front().string() +
-                               ": action for process " +
-                               std::to_string(a.pid) + " but nprocs is " +
-                               std::to_string(nprocs));
+            if (a.pid < 0 || a.pid >= nprocs) {
+              const std::string what = files.front().string() +
+                                       ": action for process " +
+                                       std::to_string(a.pid) +
+                                       " but nprocs is " +
+                                       std::to_string(nprocs);
+              if (mode == DecodeMode::strict) throw ParseError(what);
+              // Lenient: a wild pid is corruption too — stop distributing
+              // here, keeping the consistent prefix.
+              salvage[0].complete = false;
+              if (salvage[0].error.empty()) salvage[0].error = what;
+              break;
+            }
             decoded[static_cast<std::size_t>(a.pid)].push_back(std::move(a));
           }
           decodes.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +116,15 @@ struct TraceSet::Storage {
         break;
     }
     return decoded[static_cast<std::size_t>(pid)];
+  }
+
+  /// Forces every file's decode (coverage/salvage reporting).
+  void decode_all() {
+    if (layout == Layout::split) {
+      for (int p = 0; p < nprocs; ++p) process_actions(p);
+    } else if (layout == Layout::merged) {
+      process_actions(0);
+    }
   }
 };
 
@@ -116,28 +154,33 @@ TraceSet::TraceSet() : storage_(std::make_shared<Storage>()) {}
 
 TraceSet::~TraceSet() = default;
 
-TraceSet TraceSet::per_process_files(
-    std::vector<std::filesystem::path> files) {
+TraceSet TraceSet::per_process_files(std::vector<std::filesystem::path> files,
+                                     DecodeMode mode) {
   if (files.empty()) throw Error("TraceSet: no trace files");
   TraceSet set;
   set.storage_ = std::make_shared<Storage>();
   set.storage_->layout = Storage::Layout::split;
   set.storage_->nprocs = static_cast<int>(files.size());
+  set.storage_->mode = mode;
   set.storage_->files = std::move(files);
   set.storage_->decoded.resize(set.storage_->files.size());
+  set.storage_->salvage.resize(set.storage_->files.size());
   set.storage_->decode_once =
       std::make_unique<std::once_flag[]>(set.storage_->files.size());
   return set;
 }
 
-TraceSet TraceSet::merged_file(std::filesystem::path file, int nprocs) {
+TraceSet TraceSet::merged_file(std::filesystem::path file, int nprocs,
+                               DecodeMode mode) {
   if (nprocs <= 0) throw Error("TraceSet: nprocs must be positive");
   TraceSet set;
   set.storage_ = std::make_shared<Storage>();
   set.storage_->layout = Storage::Layout::merged;
   set.storage_->nprocs = nprocs;
+  set.storage_->mode = mode;
   set.storage_->files.push_back(std::move(file));
   set.storage_->decoded.resize(static_cast<std::size_t>(nprocs));
+  set.storage_->salvage.resize(1);
   set.storage_->decode_once = std::make_unique<std::once_flag[]>(1);
   return set;
 }
@@ -183,6 +226,26 @@ std::uint64_t TraceSet::disk_bytes() const {
 
 std::uint64_t TraceSet::decode_count() const {
   return storage_->decodes.load(std::memory_order_relaxed);
+}
+
+DecodeMode TraceSet::decode_mode() const { return storage_->mode; }
+
+double TraceSet::coverage() const {
+  storage_->decode_all();
+  std::uint64_t consumed = 0;
+  std::uint64_t total = 0;
+  for (const SalvageInfo& s : storage_->salvage) {
+    consumed += s.bytes_consumed;
+    total += s.bytes_total;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(consumed) /
+                          static_cast<double>(total);
+}
+
+std::vector<SalvageInfo> TraceSet::salvage_report() const {
+  storage_->decode_all();
+  return storage_->salvage;
 }
 
 }  // namespace tir::trace

@@ -44,14 +44,31 @@ struct TraceStats {
   TraceStats& operator+=(const TraceStats& other);
 };
 
+/// How file-backed traces react to corrupt input.
+enum class DecodeMode {
+  strict,   ///< any decode error throws tir::ParseError (the default)
+  lenient,  ///< salvage: keep each file's longest clean prefix, record the
+            ///< error, and report a coverage() below 1.0
+};
+
+/// Per-file salvage outcome (lenient mode; strict files are always clean).
+struct SalvageInfo {
+  bool complete = true;
+  std::string error;
+  std::uint64_t bytes_consumed = 0;
+  std::uint64_t bytes_total = 0;
+};
+
 class TraceSet {
  public:
   /// One file per process; index in the vector = process id. Each file may
   /// be text, binary or compact (detected by magic).
-  static TraceSet per_process_files(std::vector<std::filesystem::path> files);
+  static TraceSet per_process_files(std::vector<std::filesystem::path> files,
+                                    DecodeMode mode = DecodeMode::strict);
 
   /// A single merged file; `nprocs` process streams are filtered out of it.
-  static TraceSet merged_file(std::filesystem::path file, int nprocs);
+  static TraceSet merged_file(std::filesystem::path file, int nprocs,
+                              DecodeMode mode = DecodeMode::strict);
 
   /// In-memory actions (index = process id).
   static TraceSet in_memory(std::vector<std::vector<Action>> actions);
@@ -87,6 +104,18 @@ class TraceSet {
   /// bounded by the file count forever — the hook sweep tests use to prove
   /// traces are parsed once regardless of scenario count.
   std::uint64_t decode_count() const;
+
+  // -- salvage reporting (lenient mode) ------------------------------------
+
+  DecodeMode decode_mode() const;
+
+  /// Fraction of on-disk trace bytes that decoded cleanly, in [0, 1].
+  /// Forces a decode of every file. 1.0 for strict and in-memory sets.
+  double coverage() const;
+
+  /// Salvage outcome per trace file (decodes on first use). Empty for
+  /// in-memory sets; all-complete under strict mode.
+  std::vector<SalvageInfo> salvage_report() const;
 
  private:
   struct Storage;

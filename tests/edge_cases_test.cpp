@@ -10,6 +10,7 @@
 #include "support/error.hpp"
 #include "trace/binary_format.hpp"
 #include "trace/text_format.hpp"
+#include "trace/trace_set.hpp"
 
 using namespace tir;
 namespace fs = std::filesystem;
@@ -138,6 +139,34 @@ TEST(EdgeCases, TruncatedBinaryTraceMidRecordThrows) {
         }
       },
       tir::ParseError);
+  fs::remove_all(dir);
+}
+
+TEST(EdgeCases, TruncatedBinaryTraceSalvagesInLenientMode) {
+  const auto dir = fs::temp_directory_path() / "tir_trunc_lenient";
+  fs::create_directories(dir);
+  const auto file = dir / "t.btrace";
+  {
+    trace::BinaryTraceWriter writer(file, 0);
+    writer.write({0, trace::ActionType::compute, -1, 1e6, 0, 0});
+    writer.write({0, trace::ActionType::send, 1, 163840, 0, 0});
+  }
+  fs::resize_file(file, fs::file_size(file) - 2);  // chop mid-record
+
+  // Strict decode refuses the file outright.
+  const auto strict = trace::TraceSet::per_process_files({file});
+  EXPECT_THROW(strict.stats(), ParseError);
+
+  // Lenient decode keeps the clean prefix and reports partial coverage.
+  const auto lenient = trace::TraceSet::per_process_files(
+      {file}, trace::DecodeMode::lenient);
+  EXPECT_EQ(lenient.actions(0).size(), 1u);  // first record survived
+  EXPECT_LT(lenient.coverage(), 1.0);
+  EXPECT_GT(lenient.coverage(), 0.0);
+  const auto salvage = lenient.salvage_report();
+  ASSERT_EQ(salvage.size(), 1u);
+  EXPECT_FALSE(salvage[0].complete);
+  EXPECT_FALSE(salvage[0].error.empty());
   fs::remove_all(dir);
 }
 

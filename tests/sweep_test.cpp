@@ -135,6 +135,46 @@ TEST(SweepTest, FailingScenarioIsRecordedWithoutPoisoningOthers) {
                SimError);
 }
 
+TEST(SweepTest, PoisonedScenariosDeterministicAcrossWorkerCounts) {
+  const auto platform = std::make_shared<plat::Platform>();
+  const auto hosts = plat::build_cluster(*platform, plat::bordereau_spec(4));
+  const auto traces = trace::TraceSet::in_memory(ring_actions(4, 2));
+  auto scenarios = make_scenarios(platform, hosts, traces, 16);
+  // Poison two of them: one bad deployment, one registry hook that throws
+  // something that is not even a std::exception.
+  scenarios[3].process_hosts.pop_back();
+  scenarios[11].customize_registry = [](ActionRegistry&) { throw 42; };
+
+  const auto serial = run_sweep(scenarios, {.workers = 1});
+  const auto parallel = run_sweep(scenarios, {.workers = 8});
+
+  ASSERT_EQ(serial.size(), 16u);
+  ASSERT_EQ(parallel.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const bool poisoned = i == 3 || i == 11;
+    EXPECT_EQ(serial[i].ok, !poisoned) << "scenario " << i;
+    // Every field of every row is identical whatever the worker count:
+    // failures are isolated, recorded in place, and never reordered.
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].ok, parallel[i].ok);
+    EXPECT_EQ(serial[i].status, parallel[i].status);
+    EXPECT_EQ(serial[i].error, parallel[i].error);
+    const double a = serial[i].coverage;
+    const double b = parallel[i].coverage;
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0) << "scenario " << i;
+    const double s = serial[i].replay.simulated_time;
+    const double p = parallel[i].replay.simulated_time;
+    EXPECT_EQ(std::memcmp(&s, &p, sizeof s), 0) << "scenario " << i;
+  }
+  EXPECT_EQ(serial[3].status, ReplayStatus::failed);
+  EXPECT_NE(serial[3].error.find("deployment"), std::string::npos);
+  EXPECT_EQ(serial[11].status, ReplayStatus::failed);
+  EXPECT_EQ(serial[11].error, "unknown exception");
+  // The healthy 14 still completed.
+  EXPECT_TRUE(serial[15].ok);
+  EXPECT_DOUBLE_EQ(serial[15].coverage, 1.0);
+}
+
 TEST(SweepTest, RunScenarioMatchesReplayer) {
   const auto platform = std::make_shared<plat::Platform>();
   const auto hosts = plat::build_cluster(*platform, plat::bordereau_spec(4));

@@ -298,3 +298,49 @@ TEST_F(TraceIoTest, TraceSetAutoDetectsBinaryFiles) {
   const TraceSet set = TraceSet::per_process_files(paths);
   EXPECT_EQ(set.stats().actions, 12u);
 }
+
+TEST_F(TraceIoTest, CompactFileWithBadMagicFailsStrictAndSalvagesLenient) {
+  // A .ctrace whose magic bytes are wrong: strict decoding must refuse it,
+  // lenient decoding must report it as unusable (coverage < 1) rather
+  // than silently treating garbage as actions.
+  const auto file = dir_ / "bad.ctrace";
+  const auto good = dir_ / "good.trace";
+  codec_by_name("compact").encode(file, ring_actions()[0], 0);
+  codec_by_name("text").encode(good, ring_actions()[1], 1);
+  {
+    std::fstream patch(file, std::ios::in | std::ios::out | std::ios::binary);
+    patch.write("XXXX", 4);  // clobber the magic
+  }
+
+  const auto strict = TraceSet::per_process_files({file, good});
+  EXPECT_THROW(strict.stats(), tir::ParseError);
+
+  const auto lenient =
+      TraceSet::per_process_files({file, good}, DecodeMode::lenient);
+  EXPECT_LT(lenient.coverage(), 1.0);
+  EXPECT_TRUE(lenient.actions(0).empty());      // nothing salvageable
+  EXPECT_EQ(lenient.actions(1).size(), 3u);     // the good file is intact
+  const auto salvage = lenient.salvage_report();
+  ASSERT_EQ(salvage.size(), 2u);
+  EXPECT_FALSE(salvage[0].complete);
+  EXPECT_TRUE(salvage[1].complete);
+}
+
+TEST_F(TraceIoTest, NegativeVolumeFailsStrictAndSalvagesLenient) {
+  const auto file = dir_ / "neg.trace";
+  std::ofstream(file) << "p0 compute 100\n"
+                      << "p0 send 1 -64\n"
+                      << "p0 barrier\n";
+
+  const auto strict = TraceSet::per_process_files({file});
+  EXPECT_THROW(strict.stats(), tir::ParseError);
+
+  const auto lenient =
+      TraceSet::per_process_files({file}, DecodeMode::lenient);
+  EXPECT_EQ(lenient.actions(0).size(), 1u);  // clean prefix: the compute
+  EXPECT_LT(lenient.coverage(), 1.0);
+  EXPECT_GT(lenient.coverage(), 0.0);
+  const auto salvage = lenient.salvage_report();
+  ASSERT_EQ(salvage.size(), 1u);
+  EXPECT_NE(salvage[0].error.find("negative volume"), std::string::npos);
+}

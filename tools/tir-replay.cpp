@@ -33,9 +33,18 @@ namespace {
   std::exit(2);
 }
 
-}  // namespace
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing text");
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError("invalid value '" + text + "' for " + flag);
+  }
+}
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::string platform_file, deployment_file, timed_file;
   std::vector<std::filesystem::path> traces;
   replay::ReplayConfig config;
@@ -69,11 +78,11 @@ int main(int argc, char** argv) {
       want_profile = true;
       config.record_timed_trace = true;
     } else if (arg == "--efficiency") {
-      config.compute_efficiency = std::stod(next());
+      config.compute_efficiency = parse_double_flag("--efficiency", next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
     } else {
       traces.emplace_back(arg);
@@ -82,26 +91,40 @@ int main(int argc, char** argv) {
   if (platform_file.empty() || deployment_file.empty() || traces.empty())
     usage(argv[0]);
 
-  try {
-    const auto result =
-        replay::replay_files(platform_file, deployment_file, traces, config);
-    std::printf("processes:        %zu\n", traces.size());
-    std::printf("actions replayed: %llu\n",
-                static_cast<unsigned long long>(result.actions_replayed));
-    std::printf("simulated time:   %.6f s\n", result.simulated_time);
-    if (!timed_file.empty()) {
-      replay::write_timed_trace(result.timed_trace, timed_file);
-      std::printf("timed trace:      %s (%zu rows)\n", timed_file.c_str(),
-                  result.timed_trace.size());
-    }
-    if (want_profile) {
-      const auto profile =
-          replay::Profile::from_timed_trace(result.timed_trace);
-      std::printf("\n%s", profile.render().c_str());
-    }
-  } catch (const Error& e) {
-    std::fprintf(stderr, "tir-replay: %s\n", e.what());
-    return 1;
+  const auto result =
+      replay::replay_files(platform_file, deployment_file, traces, config);
+  std::printf("processes:        %zu\n", traces.size());
+  std::printf("actions replayed: %llu\n",
+              static_cast<unsigned long long>(result.actions_replayed));
+  std::printf("simulated time:   %.6f s\n", result.simulated_time);
+  if (!timed_file.empty()) {
+    replay::write_timed_trace(result.timed_trace, timed_file);
+    std::printf("timed trace:      %s (%zu rows)\n", timed_file.c_str(),
+                result.timed_trace.size());
+  }
+  if (want_profile) {
+    const auto profile = replay::Profile::from_timed_trace(result.timed_trace);
+    std::printf("\n%s", profile.render().c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Input problems (unreadable files, malformed traces, bad flag values)
+  // exit 2; simulation failures (deadlock, bad deployment) exit 1. Either
+  // way: one `error:` line on stderr, never an uncaught exception.
+  try {
+    return run(argc, argv);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

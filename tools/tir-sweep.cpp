@@ -21,6 +21,10 @@
 //   eager=BYTES            eager/rendezvous switch (e.g. 64KiB)
 //   collectives=flat|binomial
 //   efficiency=X           compute-rate scale
+//   fault=SPEC,...         inject faults mid-replay; each SPEC is
+//                          host:NAME:FACTOR@TIME (compute power scaled by
+//                          FACTOR from simulated time TIME onwards) or
+//                          link:NAME:BWFACTOR[:LATFACTOR]@TIME
 //
 // A line starting with `default` sets defaults for every later scenario.
 // Relative paths resolve against the list file's directory. Platforms,
@@ -170,6 +174,42 @@ KeyValues parse_tokens(const std::string& line, const fs::path& list_file,
   return out;
 }
 
+/// Parses one fault entry: host:NAME:FACTOR@TIME or
+/// link:NAME:BWFACTOR[:LATFACTOR]@TIME.
+replay::FaultSpec parse_fault(const std::string& scenario,
+                              const std::string& entry) {
+  const std::string what = "scenario '" + scenario + "': fault '" + entry +
+                           "'";
+  const auto at = entry.rfind('@');
+  if (at == std::string::npos)
+    throw Error(what + ": missing @TIME");
+  replay::FaultSpec fault;
+  fault.at_time = parse_double(what + " time", entry.substr(at + 1));
+
+  // Named, not a temporary: split() returns views into this string and a
+  // range-for does not lifetime-extend its range initializer.
+  const std::string body = entry.substr(0, at);
+  std::vector<std::string> parts;
+  for (const auto& p : str::split(body, ':'))
+    parts.emplace_back(p);
+  if (parts.size() < 3) throw Error(what + ": expected kind:NAME:FACTOR");
+  fault.target = parts[1];
+  if (parts[0] == "host") {
+    if (parts.size() != 3) throw Error(what + ": host takes one factor");
+    fault.kind = replay::FaultSpec::Kind::host;
+    fault.compute_factor = parse_double(what + " factor", parts[2]);
+  } else if (parts[0] == "link") {
+    if (parts.size() > 4) throw Error(what + ": too many link factors");
+    fault.kind = replay::FaultSpec::Kind::link;
+    fault.bandwidth_factor = parse_double(what + " bandwidth", parts[2]);
+    if (parts.size() == 4)
+      fault.latency_factor = parse_double(what + " latency", parts[3]);
+  } else {
+    throw Error(what + ": kind must be host or link");
+  }
+  return fault;
+}
+
 replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
                                     std::size_t index) {
   replay::ScenarioSpec spec;
@@ -211,6 +251,9 @@ replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
   if (const auto* eff = kv.find("efficiency"))
     spec.config.compute_efficiency =
         parse_double("scenario '" + spec.name + "': efficiency", *eff);
+  if (const auto* fault = kv.find("fault"))
+    for (const auto& token : str::split(*fault, ','))
+      spec.faults.push_back(parse_fault(spec.name, std::string(token)));
   return spec;
 }
 
@@ -218,7 +261,26 @@ std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
     if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
     out += c;
+  }
+  return out;
+}
+
+/// One CSV cell: deadlock messages carry commas and newlines, so flatten
+/// them rather than quoting (keeps the output trivially line-parseable).
+std::string csv_cell(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\n')
+      out += "; ";
+    else if (c == ',')
+      out += ';';
+    else
+      out += c;
   }
   return out;
 }
@@ -301,32 +363,41 @@ int main(int argc, char** argv) {
 
     std::ostringstream os;
     if (format == "csv") {
-      os << "name,processes,actions_replayed,simulated_time,error\n";
+      os << "name,status,processes,actions_replayed,simulated_time,coverage,"
+            "error\n";
       for (const auto& r : results) {
-        os << r.name << ',';
-        if (r.ok)
-          os << r.replay.process_finish_times.size() << ','
-             << r.replay.actions_replayed << ',';
-        else
-          os << ",,";
+        os << r.name << ',' << replay::to_string(r.status) << ','
+           << r.replay.process_finish_times.size() << ','
+           << r.replay.actions_replayed << ',';
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.9f", r.replay.simulated_time);
-        os << (r.ok ? buf : "") << ',' << (r.ok ? "" : r.error) << '\n';
+        os << (r.ok ? buf : "") << ',';
+        std::snprintf(buf, sizeof buf, "%.6f", r.coverage);
+        os << buf << ',' << (r.ok ? "" : csv_cell(r.error)) << '\n';
       }
     } else {
       os << "[\n";
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6f", r.coverage);
         os << "  {\"name\": \"" << json_escape(r.name) << "\", \"ok\": "
-           << (r.ok ? "true" : "false");
+           << (r.ok ? "true" : "false") << ", \"status\": \""
+           << replay::to_string(r.status) << "\", \"coverage\": " << buf;
         if (r.ok) {
-          char buf[32];
           std::snprintf(buf, sizeof buf, "%.9f", r.replay.simulated_time);
           os << ", \"processes\": " << r.replay.process_finish_times.size()
              << ", \"actions_replayed\": " << r.replay.actions_replayed
              << ", \"simulated_time\": " << buf;
         } else {
           os << ", \"error\": \"" << json_escape(r.error) << "\"";
+          if (!r.diagnostics.empty()) {
+            os << ", \"diagnostics\": [";
+            for (std::size_t d = 0; d < r.diagnostics.size(); ++d)
+              os << (d ? ", " : "") << "\"" << json_escape(r.diagnostics[d])
+                 << "\"";
+            os << "]";
+          }
         }
         os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
       }

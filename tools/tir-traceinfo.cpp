@@ -18,15 +18,17 @@
 
 using namespace tir;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s TRACE... | --to-binary IN OUT | --to-text IN "
-                 "OUT\n",
+                 "OUT | --to-compact IN OUT\n",
                  argv[0]);
     return 2;
   }
-  try {
+  {
     if (std::strcmp(argv[1], "--to-binary") == 0 && argc == 4) {
       const auto bytes = trace::text_to_binary(argv[2], argv[3]);
       std::printf("wrote %s (%s)\n", argv[3],
@@ -52,7 +54,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::vector<std::filesystem::path> files;
-    for (int i = 1; i < argc; ++i) files.emplace_back(argv[i]);
+    for (int i = 1; i < argc; ++i) {
+      if (argv[i][0] == '-') {
+        std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+        return 2;
+      }
+      files.emplace_back(argv[i]);
+    }
     const auto set = trace::TraceSet::per_process_files(files);
     const auto stats = set.stats();
     std::printf("processes:      %d\n", set.nprocs());
@@ -69,9 +77,22 @@ int main(int argc, char** argv) {
                 units::format_bytes(stats.total_bytes_sent).c_str());
     std::printf("  collectives:  %llu\n",
                 static_cast<unsigned long long>(stats.collectives));
-  } catch (const Error& e) {
-    std::fprintf(stderr, "tir-traceinfo: %s\n", e.what());
-    return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Unreadable or malformed inputs exit 2 with one `error:` line; nothing
+  // escapes as an uncaught tir::Error.
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
