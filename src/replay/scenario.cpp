@@ -99,7 +99,8 @@ void run_scenario_into(const ScenarioSpec& spec, const ActionRegistry& registry,
   // Every mutable piece of the simulation lives below this line, scoped to
   // this call: the engine (event heaps, route cache, fluid state), the MPI
   // world (matching queues) and the per-process replay contexts.
-  sim::Engine engine(*spec.platform);
+  sim::Engine engine(*spec.platform,
+                     sim::EngineConfig{.full_solve = spec.config.full_solve});
   mpi::World world(engine, spec.process_hosts, spec.config.mpi);
 
   result.process_finish_times.assign(static_cast<std::size_t>(nprocs), 0.0);

@@ -27,6 +27,9 @@ struct ReplayConfig {
   mpi::Config mpi;                    ///< eager threshold, collective algo
   double compute_efficiency = 1.0;    ///< hosts run at calibrated speed
   bool record_timed_trace = false;
+  /// Disable the incremental network solver (full re-solve on every change)
+  /// — the reference path for differential testing; results must match.
+  bool full_solve = false;
 };
 
 /// One row of the optional timed trace.

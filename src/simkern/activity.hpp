@@ -59,7 +59,9 @@ struct FluidState {
   SimTime last_update = 0.0;
   SimTime finish_est = 0.0;  ///< predicted completion (inf when starved)
   std::uint64_t generation = 0;
-  std::size_t index = 0;     ///< slot in the engine's per-group list
+  std::size_t index = 0;     ///< Execs: slot in the engine's per-host list.
+                             ///< Transfers are tracked by `var` instead
+                             ///< (the engine's VarId-indexed flow table).
 };
 
 class Exec final : public Activity {

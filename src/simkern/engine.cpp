@@ -28,6 +28,7 @@ void Gate::open() {
 
 Engine::Engine(const plat::Platform& platform, EngineConfig config)
     : platform_(platform), config_(config) {
+  net_lmm_.set_full_solve(config.full_solve);
   link_res_.reserve(platform.link_count());
   for (std::size_t l = 0; l < platform.link_count(); ++l)
     link_res_.push_back(
@@ -113,15 +114,24 @@ void Engine::reschedule_host(int host) {
 
 void Engine::resolve_network() {
   if (!net_lmm_.dirty()) return;
-  net_lmm_.solve();
+  const auto changed = net_lmm_.solve_changed();
   ++stats_.solver_calls;
-  for (const auto& transfer : net_flows_) {
-    const double rate = net_lmm_.rate(transfer->fluid.var);
+  const auto& solver = net_lmm_.solve_stats();
+  stats_.solver_vars_touched = solver.vars_touched;
+  stats_.solver_component_size_max =
+      std::max<std::uint64_t>(stats_.solver_component_size_max,
+                              solver.max_component_vars);
+  for (const VarId var : changed) {
+    const auto& transfer = var_flows_[static_cast<std::size_t>(var)];
+    if (!transfer) continue;
+    const double rate = net_lmm_.rate(var);
     const double old = transfer->fluid.rate;
     // Requeue only on a meaningful change to keep the heap lean.
     if (rate != old &&
-        (old <= 0 || std::abs(rate - old) > 1e-12 * std::max(rate, old)))
+        (old <= 0 || std::abs(rate - old) > 1e-12 * std::max(rate, old))) {
       set_rate(transfer, transfer->fluid, rate);
+      ++stats_.flows_rerated;
+    }
   }
 }
 
@@ -188,11 +198,18 @@ void Engine::degrade_link(int link, double bandwidth_factor,
     throw SimError("degrade_link: bandwidth factor must be > 0");
   if (latency_factor < 0)
     throw SimError("degrade_link: latency factor must be >= 0");
-  net_lmm_.set_capacity(link_res_[static_cast<std::size_t>(link)],
+  const ResourceId res = link_res_[static_cast<std::size_t>(link)];
+  net_lmm_.set_capacity(res,
                         platform_.link(link).bandwidth * bandwidth_factor);
   link_latency_factor_[static_cast<std::size_t>(link)] = latency_factor;
-  // Cached route latencies embed the old factor; rebuild lazily.
-  route_cache_.clear();
+  // Cached route latencies embed the old factor. Only routes crossing the
+  // degraded link are stale; keep the rest so sweeps with faults don't pay
+  // a full route recomputation.
+  std::erase_if(route_cache_, [res](const auto& entry) {
+    const auto& resources = entry.second.resources;
+    return std::find(resources.begin(), resources.end(), res) !=
+           resources.end();
+  });
 }
 
 double Engine::route_latency(int src_host, int dst_host) {
@@ -270,9 +287,10 @@ void Engine::start_flow(Transfer& transfer) {
   transfer.fluid.remaining = transfer.amount;
   transfer.fluid.last_update = now_;
   transfer.fluid.var = net_lmm_.add_variable(1.0, transfer.link_resources);
-  transfer.fluid.index = net_flows_.size();
-  net_flows_.push_back(
-      std::static_pointer_cast<Transfer>(transfer.shared_from_this()));
+  const auto slot = static_cast<std::size_t>(transfer.fluid.var);
+  if (slot >= var_flows_.size()) var_flows_.resize(slot + 1);
+  var_flows_[slot] =
+      std::static_pointer_cast<Transfer>(transfer.shared_from_this());
 }
 
 void Engine::complete(Activity& activity) {
@@ -296,11 +314,8 @@ void Engine::complete(Activity& activity) {
       auto& transfer = static_cast<Transfer&>(activity);
       if (transfer.fluid.var >= 0) {
         net_lmm_.remove_variable(transfer.fluid.var);
+        var_flows_[static_cast<std::size_t>(transfer.fluid.var)].reset();
         transfer.fluid.var = -1;
-        const std::size_t i = transfer.fluid.index;
-        net_flows_[i] = std::move(net_flows_.back());
-        net_flows_[i]->fluid.index = i;
-        net_flows_.pop_back();
       }
       break;
     }

@@ -11,8 +11,10 @@
 //     a host share its power equally, so only that host's Execs are
 //     touched when one starts or finishes (O(execs-on-host), not
 //     O(all-activities)).
-//   - Network flows go through the max-min solver, re-solved only when
-//     the flow set changes.
+//   - Network flows go through the incremental max-min solver: a change
+//     re-solves only the connected component(s) of the constraint graph it
+//     touched, and only flows whose solved rate actually moved are re-rated
+//     (O(changed), not O(live flows)).
 //   - Fluid progress is tracked lazily: each fluid stores its remaining
 //     work as of `last_update` and a predicted finish time kept in a
 //     priority queue (stale entries are skipped by generation counters).
@@ -68,6 +70,10 @@ struct EngineConfig {
   /// When true (default), run() throws SimError if processes remain blocked
   /// with no pending event (deadlock). When false, run() returns normally.
   bool deadlock_is_error = true;
+  /// When true, the network max-min solver re-solves the whole system on
+  /// every change instead of only the modified connected components —
+  /// the reference path for differential testing of the incremental solver.
+  bool full_solve = false;
 };
 
 struct EngineStats {
@@ -75,6 +81,10 @@ struct EngineStats {
   std::uint64_t activities = 0;     ///< activities created
   std::uint64_t solver_calls = 0;   ///< network max-min re-solves
   std::uint64_t heap_events = 0;    ///< timed events dispatched
+  // Solver work: how much of the network system each re-solve touched.
+  std::uint64_t solver_vars_touched = 0;  ///< component vars re-solved (sum)
+  std::uint64_t solver_component_size_max = 0;  ///< largest single re-solve
+  std::uint64_t flows_rerated = 0;  ///< transfers whose rate was requeued
 };
 
 class Engine {
@@ -228,7 +238,8 @@ class Engine {
 
   /// Equal-share rescheduling of one host's Execs.
   void reschedule_host(int host);
-  /// Network max-min resolve; updates every flow whose rate changed.
+  /// Incremental network max-min resolve; re-rates only the flows whose
+  /// solved rate changed (the solver's changed-variable set).
   void resolve_network();
 
   void drain_ready();
@@ -237,10 +248,13 @@ class Engine {
   const plat::Platform& platform_;
   EngineConfig config_;
 
-  // Network model state. The engine keeps flowing transfers alive.
+  // Network model state. The engine keeps flowing transfers alive through
+  // var_flows_, a VarId-indexed side table (dense: the solver recycles ids)
+  // that lets resolve_network() re-rate exactly the flows the incremental
+  // solver reports as changed instead of rescanning every live flow.
   MaxMin net_lmm_;
   std::vector<ResourceId> link_res_;   // link id -> network resource
-  std::vector<std::shared_ptr<Transfer>> net_flows_;  // swap-removed
+  std::vector<std::shared_ptr<Transfer>> var_flows_;  // VarId -> flow
 
   // CPU scheduling state; active execs per host, kept alive by the engine.
   std::vector<std::vector<std::shared_ptr<Exec>>> host_execs_;

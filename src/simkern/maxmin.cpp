@@ -13,7 +13,8 @@ constexpr double kEps = 1e-12;
 
 ResourceId MaxMin::add_resource(double capacity) {
   if (capacity < 0) throw Error("MaxMin: capacity must be non-negative");
-  resources_.push_back(Res{capacity, {}});
+  resources_.push_back(Res{});
+  resources_.back().capacity = capacity;
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -21,10 +22,19 @@ double MaxMin::capacity(ResourceId r) const {
   return resources_.at(static_cast<std::size_t>(r)).capacity;
 }
 
+void MaxMin::mark_resource_modified(ResourceId r) {
+  Res& res = resources_[static_cast<std::size_t>(r)];
+  if (res.modified) return;
+  res.modified = true;
+  modified_resources_.push_back(r);
+}
+
 void MaxMin::set_capacity(ResourceId r, double capacity) {
   if (capacity < 0) throw Error("MaxMin: capacity must be non-negative");
-  resources_.at(static_cast<std::size_t>(r)).capacity = capacity;
-  dirty_ = true;
+  Res& res = resources_.at(static_cast<std::size_t>(r));
+  if (res.capacity == capacity) return;
+  res.capacity = capacity;
+  mark_resource_modified(r);
 }
 
 VarId MaxMin::add_variable(double weight,
@@ -34,6 +44,10 @@ VarId MaxMin::add_variable(double weight,
   if (bound <= 0) throw Error("MaxMin: variable bound must be positive");
   if (resources.empty() && bound == kInf)
     throw Error("MaxMin: a variable needs a resource or a finite bound");
+  for (const ResourceId r : resources) {
+    if (r < 0 || static_cast<std::size_t>(r) >= resources_.size())
+      throw Error("MaxMin: unknown resource id");
+  }
 
   VarId id;
   if (!free_ids_.empty()) {
@@ -52,25 +66,49 @@ VarId MaxMin::add_variable(double weight,
   std::sort(v.resources.begin(), v.resources.end());
   v.resources.erase(std::unique(v.resources.begin(), v.resources.end()),
                     v.resources.end());
+  v.positions.clear();
+  v.positions.reserve(v.resources.size());
   for (const ResourceId r : v.resources) {
-    if (r < 0 || static_cast<std::size_t>(r) >= resources_.size())
-      throw Error("MaxMin: unknown resource id");
-    resources_[static_cast<std::size_t>(r)].vars.push_back(id);
+    Res& res = resources_[static_cast<std::size_t>(r)];
+    v.positions.push_back(static_cast<std::uint32_t>(res.vars.size()));
+    res.vars.push_back(id);
+    mark_resource_modified(r);
+  }
+  if (v.resources.empty() && !v.modified) {
+    v.modified = true;
+    modified_vars_.push_back(id);
   }
   ++active_count_;
-  dirty_ = true;
   return id;
 }
 
 void MaxMin::remove_variable(VarId id) {
   Var& v = vars_.at(static_cast<std::size_t>(id));
   if (!v.active) throw Error("MaxMin: removing an inactive variable");
+  // Intrusive bidirectional membership: swap-remove this variable from each
+  // of its resources' member lists, repairing the moved member's stored
+  // position (binary search — resource lists in Var are sorted).
+  for (std::size_t i = 0; i < v.resources.size(); ++i) {
+    const ResourceId r = v.resources[i];
+    Res& res = resources_[static_cast<std::size_t>(r)];
+    const std::uint32_t pos = v.positions[i];
+    const VarId moved = res.vars.back();
+    res.vars[pos] = moved;
+    res.vars.pop_back();
+    if (moved != id) {
+      Var& m = vars_[static_cast<std::size_t>(moved)];
+      const auto it =
+          std::lower_bound(m.resources.begin(), m.resources.end(), r);
+      m.positions[static_cast<std::size_t>(it - m.resources.begin())] = pos;
+    }
+    mark_resource_modified(r);
+  }
   v.active = false;
   v.rate = 0.0;
-  // Resource membership lists are compacted lazily during solve().
+  v.resources.clear();
+  v.positions.clear();
   --active_count_;
   free_ids_.push_back(id);
-  dirty_ = true;
 }
 
 double MaxMin::rate(VarId id) const {
@@ -81,79 +119,116 @@ double MaxMin::rate(VarId id) const {
 
 double MaxMin::resource_load(ResourceId r) const {
   double load = 0.0;
-  for (const VarId id : resources_.at(static_cast<std::size_t>(r)).vars) {
-    const Var& v = vars_[static_cast<std::size_t>(id)];
-    if (v.active) load += v.rate;
-  }
+  for (const VarId id : resources_.at(static_cast<std::size_t>(r)).vars)
+    load += vars_[static_cast<std::size_t>(id)].rate;
   return load;
 }
 
-void MaxMin::solve() {
-  if (!dirty_) return;
-  dirty_ = false;
+void MaxMin::expand_components() {
+  component_res_.clear();
+  component_vars_.clear();
 
-  // Working sets: only resources used by at least one active variable
-  // participate. Compact the per-resource membership lists on the way.
-  std::vector<ResourceId> live_resources;
-  std::vector<double> remaining(resources_.size(), 0.0);
-  std::vector<double> weight_sum(resources_.size(), 0.0);
-  std::vector<char> seen(resources_.size(), 0);
+  const auto push_res = [this](ResourceId r) {
+    Res& res = resources_[static_cast<std::size_t>(r)];
+    if (res.in_component) return;
+    res.in_component = true;
+    component_res_.push_back(r);
+  };
+  const auto push_var = [this](VarId v) {
+    Var& var = vars_[static_cast<std::size_t>(v)];
+    if (var.in_component) return;
+    var.in_component = true;
+    component_vars_.push_back(v);
+  };
 
-  std::vector<VarId> unsat;
-  for (std::size_t i = 0; i < vars_.size(); ++i) {
-    Var& v = vars_[i];
-    if (!v.active) continue;
-    v.rate = 0.0;
-    unsat.push_back(static_cast<VarId>(i));
-    for (const ResourceId r : v.resources) {
-      const auto ri = static_cast<std::size_t>(r);
-      if (!seen[ri]) {
-        seen[ri] = 1;
-        live_resources.push_back(r);
-        remaining[ri] = resources_[ri].capacity;
-        // Compact: drop inactive members accumulated since the last solve.
-        auto& members = resources_[ri].vars;
-        members.erase(std::remove_if(members.begin(), members.end(),
-                                     [&](VarId m) {
-                                       return !vars_[static_cast<std::size_t>(
-                                                         m)]
-                                                   .active;
-                                     }),
-                      members.end());
+  if (full_solve_) {
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      const Var& v = vars_[i];
+      if (!v.active) continue;
+      push_var(static_cast<VarId>(i));
+      for (const ResourceId r : v.resources) push_res(r);
+    }
+    for (const ResourceId r : modified_resources_)
+      resources_[static_cast<std::size_t>(r)].modified = false;
+  } else {
+    for (const ResourceId r : modified_resources_) {
+      resources_[static_cast<std::size_t>(r)].modified = false;
+      push_res(r);
+    }
+    for (const VarId v : modified_vars_) {
+      Var& var = vars_[static_cast<std::size_t>(v)];
+      var.modified = false;
+      if (!var.active) continue;
+      push_var(v);
+      for (const ResourceId r : var.resources) push_res(r);
+    }
+    // Close over the constraint graph: every member of a component resource
+    // joins, and every resource of a component variable joins. Both lists
+    // double as BFS worklists.
+    std::size_t ri = 0, vi = 0;
+    while (ri < component_res_.size() || vi < component_vars_.size()) {
+      while (ri < component_res_.size()) {
+        const Res& res = resources_[static_cast<std::size_t>(
+            component_res_[ri++])];
+        for (const VarId v : res.vars) push_var(v);
       }
-      weight_sum[ri] += v.weight;
+      while (vi < component_vars_.size()) {
+        const Var& var = vars_[static_cast<std::size_t>(
+            component_vars_[vi++])];
+        for (const ResourceId r : var.resources) push_res(r);
+      }
     }
   }
+  for (const VarId v : modified_vars_)
+    vars_[static_cast<std::size_t>(v)].modified = false;
+  modified_resources_.clear();
+  modified_vars_.clear();
+}
 
-  std::vector<char> var_done(vars_.size(), 0);
+void MaxMin::fill_components() {
+  for (const ResourceId r : component_res_) {
+    Res& res = resources_[static_cast<std::size_t>(r)];
+    res.remaining = res.capacity;
+    res.weight_sum = 0.0;
+  }
+  old_rates_.clear();
+  old_rates_.reserve(component_vars_.size());
+  for (const VarId id : component_vars_) {
+    Var& v = vars_[static_cast<std::size_t>(id)];
+    old_rates_.push_back(v.rate);
+    v.rate = 0.0;
+    v.done = false;
+    for (const ResourceId r : v.resources)
+      resources_[static_cast<std::size_t>(r)].weight_sum += v.weight;
+  }
 
-  while (!unsat.empty()) {
-    // Smallest per-weight share offered by any live resource.
-    double best_share = MaxMin::kInf;
-    for (const ResourceId r : live_resources) {
-      const auto ri = static_cast<std::size_t>(r);
-      if (weight_sum[ri] > kEps) {
-        best_share = std::min(best_share, remaining[ri] / weight_sum[ri]);
-      }
+  unsat_ = component_vars_;
+  while (!unsat_.empty()) {
+    // Smallest per-weight share offered by any component resource.
+    double best_share = kInf;
+    for (const ResourceId r : component_res_) {
+      const Res& res = resources_[static_cast<std::size_t>(r)];
+      if (res.weight_sum > kEps)
+        best_share = std::min(best_share, res.remaining / res.weight_sum);
     }
 
-    const auto saturate = [&](VarId id, double rate) {
+    const auto saturate = [this](VarId id, double rate) {
       Var& v = vars_[static_cast<std::size_t>(id)];
       v.rate = rate;
-      var_done[static_cast<std::size_t>(id)] = 1;
+      v.done = true;
       for (const ResourceId r : v.resources) {
-        const auto ri = static_cast<std::size_t>(r);
-        remaining[ri] = std::max(0.0, remaining[ri] - rate);
-        weight_sum[ri] -= v.weight;
+        Res& res = resources_[static_cast<std::size_t>(r)];
+        res.remaining = std::max(0.0, res.remaining - rate);
+        res.weight_sum -= v.weight;
       }
     };
 
     // Variables whose bound binds before (or at) the resource share.
     bool any_bounded = false;
-    for (const VarId id : unsat) {
+    for (const VarId id : unsat_) {
       const Var& v = vars_[static_cast<std::size_t>(id)];
       if (v.bound < best_share * v.weight * (1.0 - 1e-9) ||
-          best_share == MaxMin::kInf) {
+          best_share == kInf) {
         if (v.bound == kInf)
           throw Error("MaxMin: unconstrained variable (no live resource)");
         saturate(id, v.bound);
@@ -162,28 +237,56 @@ void MaxMin::solve() {
     }
     if (!any_bounded) {
       // Saturate every variable touching a binding resource.
-      for (const ResourceId r : live_resources) {
-        const auto ri = static_cast<std::size_t>(r);
-        if (weight_sum[ri] <= kEps) continue;
-        if (remaining[ri] / weight_sum[ri] <= best_share * (1.0 + 1e-9)) {
-          // Copy: saturate() mutates the membership weights.
-          const std::vector<VarId> users = resources_[ri].vars;
-          for (const VarId id : users) {
-            if (var_done[static_cast<std::size_t>(id)]) continue;
+      for (const ResourceId r : component_res_) {
+        Res& res = resources_[static_cast<std::size_t>(r)];
+        if (res.weight_sum <= kEps) continue;
+        if (res.remaining / res.weight_sum <= best_share * (1.0 + 1e-9)) {
+          for (const VarId id : res.vars) {
             const Var& v = vars_[static_cast<std::size_t>(id)];
-            if (!v.active) continue;
+            if (v.done) continue;
             saturate(id, std::min(v.bound, best_share * v.weight));
           }
         }
       }
     }
-    unsat.erase(std::remove_if(unsat.begin(), unsat.end(),
-                               [&](VarId id) {
-                                 return var_done[static_cast<std::size_t>(
-                                     id)] != 0;
-                               }),
-                unsat.end());
+    unsat_.erase(std::remove_if(unsat_.begin(), unsat_.end(),
+                                [this](VarId id) {
+                                  return vars_[static_cast<std::size_t>(id)]
+                                      .done;
+                                }),
+                 unsat_.end());
   }
+
+  for (std::size_t i = 0; i < component_vars_.size(); ++i) {
+    const VarId id = component_vars_[i];
+    if (vars_[static_cast<std::size_t>(id)].rate != old_rates_[i])
+      changed_.push_back(id);
+  }
+}
+
+void MaxMin::solve() {
+  changed_.clear();
+  if (!dirty()) return;
+
+  expand_components();
+  fill_components();
+
+  ++stats_.solves;
+  stats_.vars_touched += component_vars_.size();
+  stats_.rate_changes += changed_.size();
+  stats_.last_component_vars = component_vars_.size();
+  stats_.max_component_vars =
+      std::max(stats_.max_component_vars, component_vars_.size());
+
+  for (const ResourceId r : component_res_)
+    resources_[static_cast<std::size_t>(r)].in_component = false;
+  for (const VarId v : component_vars_)
+    vars_[static_cast<std::size_t>(v)].in_component = false;
+}
+
+std::span<const VarId> MaxMin::solve_changed() {
+  solve();
+  return {changed_.data(), changed_.size()};
 }
 
 }  // namespace tir::sim

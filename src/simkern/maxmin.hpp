@@ -7,6 +7,23 @@
 // a resource saturates or a variable hits its bound; saturated participants
 // are frozen and the process repeats (progressive filling).
 //
+// Incremental solving (SimGrid's "lazy updates with partial invalidation",
+// Casanova et al.): mutations (add/remove variable, set_capacity) record
+// the touched resources in a modified set instead of invalidating the whole
+// system. solve() expands the modified set to the connected component(s) of
+// the resource↔variable constraint graph reachable from it and re-runs
+// progressive filling on those components only — rates outside them cannot
+// change because max-min allocations decompose over connected components.
+// solve_changed() additionally reports exactly which variables' rates moved,
+// so the caller can re-rate O(changed) activities instead of rescanning
+// every flow. set_full_solve(true) disables the component restriction (every
+// solve re-rates the whole system) for differential testing.
+//
+// Membership lists are intrusively bidirectional: each variable stores, for
+// every resource it uses, its index in that resource's member list, so
+// remove_variable is O(degree · log degree) swap-removes instead of
+// deferring compaction into the solver hot loop.
+//
 // Optimality conditions (checked by the property tests):
 //   1. No resource exceeds its capacity.
 //   2. Every variable either sits at its bound or uses at least one
@@ -17,6 +34,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace tir::sim {
@@ -27,6 +45,15 @@ using VarId = int;
 class MaxMin {
  public:
   static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Cumulative solver-work counters (observable via EngineStats).
+  struct SolveStats {
+    std::uint64_t solves = 0;         ///< solve() calls that did work
+    std::uint64_t vars_touched = 0;   ///< component variables re-solved
+    std::uint64_t rate_changes = 0;   ///< variables whose rate moved
+    std::size_t last_component_vars = 0;  ///< size of the last re-solve
+    std::size_t max_component_vars = 0;   ///< largest re-solve so far
+  };
 
   /// Adds a resource with the given capacity (units: flop/s or bytes/s).
   ResourceId add_resource(double capacity);
@@ -40,14 +67,21 @@ class MaxMin {
   VarId add_variable(double weight, const std::vector<ResourceId>& resources,
                      double bound = kInf);
 
-  /// Deactivates a variable. Its id is recycled.
+  /// Deactivates a variable (O(degree) swap-removes). Its id is recycled.
   void remove_variable(VarId v);
 
-  /// True when the active-variable set changed since the last solve().
-  bool dirty() const { return dirty_; }
+  /// True when the system changed since the last solve().
+  bool dirty() const {
+    return !modified_resources_.empty() || !modified_vars_.empty();
+  }
 
-  /// Recomputes all rates (no-op when not dirty).
+  /// Re-solves the components reachable from the modified set (no-op when
+  /// not dirty).
   void solve();
+
+  /// solve(), then the variables whose rate changed in that solve. The span
+  /// is valid until the next mutation or solve. Empty when nothing changed.
+  std::span<const VarId> solve_changed();
 
   /// Rate assigned by the last solve(). Requires an active variable.
   double rate(VarId v) const;
@@ -58,24 +92,64 @@ class MaxMin {
   /// Total rate currently allocated on a resource (diagnostics/tests).
   double resource_load(ResourceId r) const;
 
+  /// When on, every solve() re-solves the whole system (differential
+  /// testing of the incremental path). Changed-variable reporting still
+  /// works.
+  void set_full_solve(bool on) { full_solve_ = on; }
+  bool full_solve() const { return full_solve_; }
+
+  const SolveStats& solve_stats() const { return stats_; }
+
  private:
   struct Res {
     double capacity = 0.0;
-    std::vector<VarId> vars;  // active users; compacted lazily in solve()
+    std::vector<VarId> vars;  // active members (positions mirrored in Var)
+    bool modified = false;    // queued in modified_resources_
+    // solve() scratch:
+    bool in_component = false;
+    double remaining = 0.0;
+    double weight_sum = 0.0;
   };
   struct Var {
     double weight = 1.0;
     double bound = kInf;
     double rate = 0.0;
     bool active = false;
-    std::vector<ResourceId> resources;  // deduplicated
+    bool modified = false;  // queued in modified_vars_ (resource-less vars)
+    // solve() scratch:
+    bool in_component = false;
+    bool done = false;
+    std::vector<ResourceId> resources;       // deduplicated, sorted
+    std::vector<std::uint32_t> positions;    // index in each resource's vars
   };
+
+  void mark_resource_modified(ResourceId r);
+  /// Collects the connected components reachable from the modified sets
+  /// into component_vars_ / component_res_ (or the whole system when
+  /// full_solve_ is on) and clears the modified marks.
+  void expand_components();
+  /// Progressive filling restricted to component_vars_ / component_res_.
+  void fill_components();
 
   std::vector<Res> resources_;
   std::vector<Var> vars_;
   std::vector<VarId> free_ids_;
   std::size_t active_count_ = 0;
-  bool dirty_ = true;
+  bool full_solve_ = false;
+
+  // Modified sets (deduplicated through the per-entry `modified` flags).
+  std::vector<ResourceId> modified_resources_;
+  std::vector<VarId> modified_vars_;
+
+  // solve() scratch, reused across calls so the steady state allocates
+  // nothing.
+  std::vector<ResourceId> component_res_;
+  std::vector<VarId> component_vars_;
+  std::vector<double> old_rates_;  // parallel to component_vars_
+  std::vector<VarId> unsat_;
+  std::vector<VarId> changed_;
+
+  SolveStats stats_;
 };
 
 }  // namespace tir::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "simkern/maxmin.hpp"
@@ -118,6 +119,42 @@ TEST(MaxMin, SetCapacityMarksDirty) {
   EXPECT_DOUBLE_EQ(m.rate(v), 40.0);
 }
 
+TEST(MaxMin, SolveChangedReportsNewAndMovedRates) {
+  MaxMin m;
+  const auto r = m.add_resource(100.0);
+  const auto a = m.add_variable(1.0, {r});
+  auto changed = m.solve_changed();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], a);
+
+  // Clean system: nothing to report.
+  changed = m.solve_changed();
+  EXPECT_TRUE(changed.empty());
+
+  // A second variable halves a's rate: both are reported.
+  const auto b = m.add_variable(1.0, {r});
+  changed = m.solve_changed();
+  EXPECT_EQ(changed.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.rate(a), 50.0);
+  EXPECT_DOUBLE_EQ(m.rate(b), 50.0);
+}
+
+TEST(MaxMin, SolverStatsAccumulate) {
+  MaxMin m;
+  const auto r = m.add_resource(100.0);
+  const auto a = m.add_variable(1.0, {r});
+  m.solve();
+  EXPECT_EQ(m.solve_stats().solves, 1u);
+  EXPECT_EQ(m.solve_stats().vars_touched, 1u);
+  EXPECT_EQ(m.solve_stats().max_component_vars, 1u);
+  m.add_variable(1.0, {r});
+  m.solve();
+  EXPECT_EQ(m.solve_stats().solves, 2u);
+  EXPECT_EQ(m.solve_stats().vars_touched, 3u);
+  EXPECT_EQ(m.solve_stats().max_component_vars, 2u);
+  (void)a;
+}
+
 TEST(MaxMin, RejectsInvalidArguments) {
   MaxMin m;
   const auto r = m.add_resource(10.0);
@@ -143,8 +180,10 @@ struct RandomSystem {
   std::vector<std::vector<ResourceId>> uses;
 };
 
-RandomSystem make_random_system(std::uint64_t seed, int n_res, int n_vars) {
+RandomSystem make_random_system(std::uint64_t seed, int n_res, int n_vars,
+                                bool full_solve = false) {
   RandomSystem s;
+  s.m.set_full_solve(full_solve);
   tir::Rng rng(seed);
   for (int i = 0; i < n_res; ++i)
     s.resources.push_back(s.m.add_resource(rng.uniform(10.0, 1000.0)));
@@ -208,6 +247,16 @@ TEST_P(MaxMinProperty, SolveIsDeterministic) {
   auto b = make_random_system(GetParam(), 6, 25);
   for (std::size_t i = 0; i < a.vars.size(); ++i)
     EXPECT_DOUBLE_EQ(a.m.rate(a.vars[i]), b.m.rate(b.vars[i]));
+}
+
+TEST_P(MaxMinProperty, FullSolveModeMatchesIncremental) {
+  auto inc = make_random_system(GetParam(), 8, 40, /*full_solve=*/false);
+  auto full = make_random_system(GetParam(), 8, 40, /*full_solve=*/true);
+  for (std::size_t i = 0; i < inc.vars.size(); ++i) {
+    const double a = inc.m.rate(inc.vars[i]);
+    const double b = full.m.rate(full.vars[i]);
+    EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::max(a, b)));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,

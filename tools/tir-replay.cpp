@@ -10,6 +10,9 @@
 //   --timed-trace FILE        also write the timed trace
 //   --profile                 print a per-action profile
 //   --efficiency X            compute-rate scale (default 1.0)
+//   --stats                   print engine counters (solver work, events)
+//   --full-solve              disable the incremental network solver
+//                             (reference path for differential testing)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,7 +31,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --platform FILE --deployment FILE TRACE... \n"
                "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
-               "  [--timed-trace FILE] [--profile] [--efficiency X]\n",
+               "  [--timed-trace FILE] [--profile] [--efficiency X]\n"
+               "  [--stats] [--full-solve]\n",
                argv0);
   std::exit(2);
 }
@@ -49,6 +53,7 @@ int run(int argc, char** argv) {
   std::vector<std::filesystem::path> traces;
   replay::ReplayConfig config;
   bool want_profile = false;
+  bool want_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +84,10 @@ int run(int argc, char** argv) {
       config.record_timed_trace = true;
     } else if (arg == "--efficiency") {
       config.compute_efficiency = parse_double_flag("--efficiency", next());
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--full-solve") {
+      config.full_solve = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -101,6 +110,22 @@ int run(int argc, char** argv) {
     replay::write_timed_trace(result.timed_trace, timed_file);
     std::printf("timed trace:      %s (%zu rows)\n", timed_file.c_str(),
                 result.timed_trace.size());
+  }
+  if (want_stats) {
+    const auto& st = result.engine_stats;
+    const auto u64 = [](std::uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::printf("\nengine stats:\n");
+    std::printf("  coroutine resumes:      %llu\n", u64(st.resumes));
+    std::printf("  activities created:     %llu\n", u64(st.activities));
+    std::printf("  timed heap events:      %llu\n", u64(st.heap_events));
+    std::printf("  network solver calls:   %llu\n", u64(st.solver_calls));
+    std::printf("  solver vars touched:    %llu\n",
+                u64(st.solver_vars_touched));
+    std::printf("  max component size:     %llu\n",
+                u64(st.solver_component_size_max));
+    std::printf("  flows re-rated:         %llu\n", u64(st.flows_rerated));
   }
   if (want_profile) {
     const auto profile = replay::Profile::from_timed_trace(result.timed_trace);
