@@ -22,7 +22,8 @@ int absolute(int vrank, int root, int size) { return (vrank + root) % size; }
 }  // namespace
 
 sim::Co<void> Rank::bcast(std::uint64_t bytes, int root) {
-  OpScope scope(*this, "bcast");
+  OpScope scope(*this, "bcast", obs::SpanKind::bcast, root,
+                static_cast<double>(bytes));
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -57,7 +58,8 @@ sim::Co<void> Rank::bcast(std::uint64_t bytes, int root) {
 }
 
 sim::Co<void> Rank::reduce(std::uint64_t vcomm, double vcomp, int root) {
-  OpScope scope(*this, "reduce");
+  OpScope scope(*this, "reduce", obs::SpanKind::reduce, root,
+                static_cast<double>(vcomm));
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) {
@@ -98,7 +100,8 @@ sim::Co<void> Rank::reduce(std::uint64_t vcomm, double vcomp, int root) {
 }
 
 sim::Co<void> Rank::allreduce(std::uint64_t vcomm, double vcomp) {
-  OpScope scope(*this, "allReduce");
+  OpScope scope(*this, "allReduce", obs::SpanKind::allreduce, -1,
+                static_cast<double>(vcomm));
   // Reduce to rank 0 followed by a broadcast — the classic pre-recursive-
   // doubling implementation, rooted at 0 as the paper prescribes.
   co_await reduce(vcomm, vcomp, 0);
@@ -106,14 +109,15 @@ sim::Co<void> Rank::allreduce(std::uint64_t vcomm, double vcomp) {
 }
 
 sim::Co<void> Rank::barrier() {
-  OpScope scope(*this, "barrier");
+  OpScope scope(*this, "barrier", obs::SpanKind::barrier);
   // Gather-then-release through 1-byte binomial trees rooted at 0.
   co_await reduce(1, 0.0, 0);
   co_await bcast(1, 0);
 }
 
 sim::Co<void> Rank::gather(std::uint64_t bytes, int root) {
-  OpScope scope(*this, "gather");
+  OpScope scope(*this, "gather", obs::SpanKind::gather, root,
+                static_cast<double>(bytes));
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -150,7 +154,8 @@ sim::Co<void> Rank::gather(std::uint64_t bytes, int root) {
 }
 
 sim::Co<void> Rank::allgather(std::uint64_t bytes) {
-  OpScope scope(*this, "allGather");
+  OpScope scope(*this, "allGather", obs::SpanKind::allgather, -1,
+                static_cast<double>(bytes));
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;
@@ -175,7 +180,8 @@ sim::Co<void> Rank::allgather(std::uint64_t bytes) {
 }
 
 sim::Co<void> Rank::alltoall(std::uint64_t bytes) {
-  OpScope scope(*this, "allToAll");
+  OpScope scope(*this, "allToAll", obs::SpanKind::alltoall, -1,
+                static_cast<double>(bytes));
   const int tag = next_coll_tag();
   const int p = size();
   if (p == 1) co_return;

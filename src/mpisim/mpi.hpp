@@ -28,7 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "simkern/engine.hpp"
+
+namespace tir::obs {
+class Recorder;
+}
 
 namespace tir::mpi {
 
@@ -46,6 +51,11 @@ enum class CollectiveAlgo {
 struct Config {
   std::uint64_t eager_threshold = 64 * 1024;
   CollectiveAlgo collectives = CollectiveAlgo::binomial;
+  /// Observability sink, or null (recording disabled). When set, every rank
+  /// emits one span per outermost MPI operation and one edge per completed
+  /// receive. Must outlive the World; usually the same Recorder passed to
+  /// EngineConfig so kernel fault events land in the same timeline.
+  obs::Recorder* recorder = nullptr;
 };
 
 class World;
@@ -139,19 +149,15 @@ class Rank final : public MpiApi {
  private:
   friend class World;
 
-  /// RAII marker for an MPI call in progress. Only the outermost label is
+  /// RAII marker for an MPI call in progress. Only the outermost call is
   /// kept: a barrier blocked inside its tree reports "barrier", not the
-  /// internal recv it is built from.
+  /// internal recv it is built from. The same depth gate drives span
+  /// emission, so recorded timelines hold disjoint outermost-op spans.
+  /// Defined out-of-line (rank.cpp): emission needs the engine clock.
   struct OpScope {
-    explicit OpScope(Rank& r, const char* label) : rank(r) {
-      if (rank.op_depth_++ == 0) rank.op_label_ = label;
-    }
-    ~OpScope() {
-      if (--rank.op_depth_ == 0) {
-        rank.op_label_.clear();
-        rank.op_detail_.clear();
-      }
-    }
+    OpScope(Rank& r, const char* label, obs::SpanKind kind, int peer = -1,
+            double volume = 0.0);
+    ~OpScope();
     OpScope(const OpScope&) = delete;
     OpScope& operator=(const OpScope&) = delete;
     Rank& rank;
@@ -160,6 +166,7 @@ class Rank final : public MpiApi {
   World* world_ = nullptr;
   int rank_ = -1;
   int host_ = -1;
+  obs::Recorder* recorder_ = nullptr;  ///< cached from Config (may be null)
 
   // Matching state.
   struct InMsg {
@@ -169,6 +176,7 @@ class Rank final : public MpiApi {
     sim::ActivityPtr transfer;  ///< eager payload (null for rendezvous)
     bool rendezvous = false;
     sim::GatePtr sender_gate;   ///< opened when a rendezvous completes
+    double sent_at = 0.0;       ///< simulated time the send was issued
   };
   std::deque<InMsg> unexpected_;
   std::deque<Request> posted_;
@@ -241,6 +249,9 @@ struct RequestState {
   // Actual sender rank, filled at match time (recv requests only) — the
   // instrumentation layer logs it in the TAU RecvMessage record.
   int matched_src = -1;
+  // Simulated time the matched send was issued (recv requests only): the
+  // source endpoint of the observability edge emitted at recv completion.
+  double sent_at = 0.0;
 
   // Filled at match time for a rendezvous recv; the receiver's wait()
   // drives the handshake and payload movement.

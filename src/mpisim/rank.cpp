@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "mpisim/mpi.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 
 namespace tir::mpi {
@@ -11,8 +12,31 @@ int Rank::size() const { return world_->size(); }
 
 sim::Engine& Rank::engine() const { return world_->engine(); }
 
+Rank::OpScope::OpScope(Rank& r, const char* label, obs::SpanKind kind,
+                       int peer, double volume)
+    : rank(r) {
+  if (rank.op_depth_++ == 0) {
+    rank.op_label_ = label;
+    if (rank.recorder_)
+      rank.recorder_->op_begin(rank.rank_, rank.engine().now(), kind, peer,
+                               volume);
+  }
+}
+
+Rank::OpScope::~OpScope() {
+  if (--rank.op_depth_ == 0) {
+    rank.op_label_.clear();
+    rank.op_detail_.clear();
+    // Also runs when a deadlocked frame is destroyed mid-await: the span
+    // then closes at the time progress stopped, which is exactly what the
+    // timeline should show for a blocked rank.
+    if (rank.recorder_)
+      rank.recorder_->op_end(rank.rank_, rank.engine().now());
+  }
+}
+
 sim::Co<void> Rank::compute(double flops, double efficiency) {
-  OpScope scope(*this, "compute");
+  OpScope scope(*this, "compute", obs::SpanKind::compute, -1, flops);
   auto exec = engine().exec_async(host_, flops, efficiency);
   co_await engine().wait(exec);
 }
@@ -77,6 +101,7 @@ std::string Rank::describe_state() const {
 void Rank::fill_match(RequestState& recv_state, const InMsg& message) {
   recv_state.bytes = message.bytes;
   recv_state.matched_src = message.src;
+  recv_state.sent_at = message.sent_at;
   if (message.rendezvous) {
     recv_state.rendezvous = true;
     recv_state.peer_host = world_->rank(message.src).host();
@@ -115,6 +140,7 @@ Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
   message.src = rank_;
   message.tag = tag;
   message.bytes = bytes;
+  message.sent_at = engine().now();
 
   if (bytes <= world_->config().eager_threshold) {
     state->kind = RequestState::Kind::send_eager;
@@ -163,7 +189,10 @@ sim::Co<void> Rank::wait(Request request) {
   if (!request) co_return;
   RequestState& state = *request;
   if (state.completed) co_return;
-  OpScope scope(*this, "wait");
+  OpScope scope(*this, "wait", obs::SpanKind::wait,
+                state.kind == RequestState::Kind::recv ? state.src
+                                                       : state.peer,
+                static_cast<double>(state.bytes));
   op_detail_ = describe_request(state);
   switch (state.kind) {
     case RequestState::Kind::send_eager:
@@ -199,20 +228,27 @@ sim::Co<void> Rank::wait(Request request) {
   }
   op_detail_.clear();
   state.completed = true;
+  // The message dependency is satisfied here — record src issue time ->
+  // recv completion so the critical-path walk can hop across ranks.
+  if (recorder_ && state.kind == RequestState::Kind::recv &&
+      state.matched_src >= 0)
+    recorder_->edge(state.matched_src, state.sent_at, rank_, engine().now());
 }
 
 sim::Co<void> Rank::waitall(std::vector<Request> requests) {
-  OpScope scope(*this, "waitAll");
+  OpScope scope(*this, "waitAll", obs::SpanKind::waitall);
   for (auto& request : requests) co_await wait(std::move(request));
 }
 
 sim::Co<void> Rank::send(int dst, std::uint64_t bytes, int tag) {
-  OpScope scope(*this, "send");
+  OpScope scope(*this, "send", obs::SpanKind::send, dst,
+                static_cast<double>(bytes));
   co_await wait(isend(dst, bytes, tag));
 }
 
 sim::Co<void> Rank::recv(int src, std::uint64_t bytes, int tag) {
-  OpScope scope(*this, "recv");
+  OpScope scope(*this, "recv", obs::SpanKind::recv, src,
+                static_cast<double>(bytes));
   co_await wait(irecv(src, bytes, tag));
 }
 

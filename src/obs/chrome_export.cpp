@@ -1,0 +1,108 @@
+#include "obs/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tir::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double (%.17g would too, but
+/// produces noise digits); fixed format keeps the output byte-deterministic.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+double us(double seconds) { return seconds * 1e6; }
+
+void write_span(std::ostream& os, int pid, int tid, const Span& span,
+                bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << to_string(span.kind) << "\", \"cat\": \""
+     << to_string(category(span.kind)) << "\", \"ph\": \"X\", \"pid\": "
+     << pid << ", \"tid\": " << tid << ", \"ts\": " << num(us(span.start))
+     << ", \"dur\": " << num(us(span.end - span.start)) << ", \"args\": {"
+     << "\"volume\": " << num(span.volume);
+  if (span.peer >= 0) os << ", \"peer\": " << span.peer;
+  os << "}}";
+}
+
+void write_thread_name(std::ostream& os, int pid, int tid,
+                       const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+     << ", \"tid\": " << tid << ", \"args\": {\"name\": \"" << name
+     << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
+  os << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+
+  for (int t = 0; t < recorder.tracks(); ++t)
+    write_thread_name(os, 0, t, "rank " + std::to_string(t), first);
+  for (int h = 0; h < recorder.host_tracks(); ++h)
+    if (!recorder.host_track_spans(h).empty())
+      write_thread_name(os, 1, h, "host " + std::to_string(h), first);
+
+  for (int t = 0; t < recorder.tracks(); ++t)
+    for (const Span& span : recorder.track_spans(t))
+      write_span(os, 0, t, span, first);
+  for (int h = 0; h < recorder.host_tracks(); ++h)
+    for (const Span& span : recorder.host_track_spans(h))
+      write_span(os, 1, h, span, first);
+
+  // Message edges as flow events: an arrow from the send instant on the
+  // source rank to the receive completion on the destination rank.
+  const auto& edges = recorder.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"msg\", \"cat\": \"msg\", \"ph\": \"s\", \"id\": "
+       << i << ", \"pid\": 0, \"tid\": " << e.src
+       << ", \"ts\": " << num(us(e.src_time)) << "},\n";
+    os << "  {\"name\": \"msg\", \"cat\": \"msg\", \"ph\": \"f\", \"bp\": "
+       << "\"e\", \"id\": " << i << ", \"pid\": 0, \"tid\": " << e.dst
+       << ", \"ts\": " << num(us(e.dst_time)) << "}";
+  }
+
+  for (const FaultEvent& f : recorder.faults()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"fault "
+       << (f.kind == FaultEvent::Kind::host ? "host " : "link ") << f.id
+       << "\", \"cat\": \"fault\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 0, "
+       << "\"tid\": 0, \"ts\": " << num(us(f.time))
+       << ", \"args\": {\"factor\": " << num(f.factor)
+       << ", \"factor2\": " << num(f.factor2) << "}}";
+  }
+
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::ostringstream os;
+  write_chrome_trace(recorder, os);
+  return os.str();
+}
+
+void write_chrome_trace_file(const Recorder& recorder,
+                             const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write '" + path.string() + "'");
+  write_chrome_trace(recorder, out);
+  if (!out) throw IoError("failed writing '" + path.string() + "'");
+}
+
+}  // namespace tir::obs

@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter (chrome://tracing, Perfetto, Speedscope).
+//
+// One Chrome "thread" per rank (pid 0, tid = rank), complete events ("X")
+// for spans, flow events ("s"/"f") drawing the recorded message edges as
+// arrows, instant events for fault activations, and thread-name metadata.
+// Timestamps are simulated microseconds (the format's native unit).
+//
+// The byte stream is deterministic for a deterministic recorder: doubles
+// are printed with a fixed shortest-round-trip format and objects in a
+// fixed order, so the golden-file test can compare bytes.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace tir::obs {
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os);
+
+/// Renders to a string (the golden tests and in-memory consumers).
+std::string chrome_trace_json(const Recorder& recorder);
+
+/// Writes to `path`; throws tir::IoError when the file cannot be written.
+void write_chrome_trace_file(const Recorder& recorder,
+                             const std::filesystem::path& path);
+
+}  // namespace tir::obs

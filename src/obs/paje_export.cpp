@@ -1,0 +1,193 @@
+#include "obs/paje_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tir::obs {
+
+namespace {
+
+// Event ids, matching the header definitions below.
+constexpr int kDefineContainerType = 0;
+constexpr int kDefineStateType = 1;
+constexpr int kDefineEventType = 2;
+constexpr int kDefineEntityValue = 3;
+constexpr int kCreateContainer = 4;
+constexpr int kDestroyContainer = 5;
+constexpr int kPushState = 6;
+constexpr int kPopState = 7;
+constexpr int kNewEvent = 8;
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9f", v);
+  return buf;
+}
+
+const char* kHeader =
+    "%EventDef PajeDefineContainerType 0\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineStateType 1\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineEventType 2\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineEntityValue 3\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%  Color color\n"
+    "%EndEventDef\n"
+    "%EventDef PajeCreateContainer 4\n"
+    "%  Time date\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDestroyContainer 5\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajePushState 6\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%  Value string\n"
+    "%EndEventDef\n"
+    "%EventDef PajePopState 7\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeNewEvent 8\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%  Value string\n"
+    "%EndEventDef\n";
+
+/// Stable colors per state value (Vite defaults look close to SimGrid's).
+const char* color_for(SpanKind kind) {
+  switch (category(kind)) {
+    case SpanCategory::compute: return "0.0 0.6 0.0";
+    case SpanCategory::p2p: return "0.0 0.3 0.9";
+    case SpanCategory::wait: return "0.9 0.1 0.1";
+    case SpanCategory::collective: return "0.9 0.6 0.0";
+    case SpanCategory::activity: return "0.5 0.5 0.5";
+  }
+  return "0.5 0.5 0.5";
+}
+
+struct TimedEvent {
+  double time;
+  int rank;
+  bool push;  ///< false = pop (sorts before push at equal time+rank)
+  const Span* span;  ///< only for pushes
+};
+
+}  // namespace
+
+void write_paje_trace(const Recorder& recorder, std::ostream& os) {
+  os << kHeader;
+
+  // Type hierarchy: root container "SITE", one "RANK" container per rank,
+  // state type "STATE" on ranks, event type "FAULT" on the root.
+  os << kDefineContainerType << " SITE 0 \"replay\"\n";
+  os << kDefineContainerType << " RANK SITE \"MPI process\"\n";
+  os << kDefineStateType << " STATE RANK \"rank state\"\n";
+  os << kDefineEventType << " FAULT SITE \"fault activation\"\n";
+
+  // One entity value per span kind actually present (stable order).
+  bool kind_present[32] = {};
+  for (int t = 0; t < recorder.tracks(); ++t)
+    for (const Span& s : recorder.track_spans(t))
+      kind_present[static_cast<int>(s.kind)] = true;
+  for (int k = 0; k < 32; ++k) {
+    if (!kind_present[k]) continue;
+    const auto kind = static_cast<SpanKind>(k);
+    os << kDefineEntityValue << " S_" << to_string(kind) << " STATE \""
+       << to_string(kind) << "\" \"" << color_for(kind) << "\"\n";
+  }
+
+  os << kCreateContainer << " 0.000000000 site SITE 0 \"site\"\n";
+  for (int t = 0; t < recorder.tracks(); ++t)
+    os << kCreateContainer << " 0.000000000 rank" << t
+       << " RANK site \"rank " << t << "\"\n";
+
+  // Merge spans and faults into one chronological stream. Ties: pops
+  // before pushes (a span ending exactly where the next begins must close
+  // first), rank index as the final deterministic tie-break.
+  std::vector<TimedEvent> events;
+  for (int t = 0; t < recorder.tracks(); ++t)
+    for (const Span& s : recorder.track_spans(t)) {
+      events.push_back(TimedEvent{s.start, t, true, &s});
+      events.push_back(TimedEvent{s.end, t, false, &s});
+    }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimedEvent& a, const TimedEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.push != b.push) return !a.push;
+                     return a.rank < b.rank;
+                   });
+
+  std::size_t fault_idx = 0;
+  const auto& faults = recorder.faults();
+  const auto flush_faults = [&](double until) {
+    while (fault_idx < faults.size() && faults[fault_idx].time <= until) {
+      const FaultEvent& f = faults[fault_idx++];
+      os << kNewEvent << ' ' << num(f.time) << " FAULT site \""
+         << (f.kind == FaultEvent::Kind::host ? "host " : "link ") << f.id
+         << " x" << f.factor << "\"\n";
+    }
+  };
+
+  for (const TimedEvent& e : events) {
+    flush_faults(e.time);
+    if (e.push) {
+      os << kPushState << ' ' << num(e.time) << " STATE rank" << e.rank
+         << " S_" << to_string(e.span->kind) << "\n";
+    } else {
+      os << kPopState << ' ' << num(e.time) << " STATE rank" << e.rank
+         << "\n";
+    }
+  }
+  flush_faults(std::numeric_limits<double>::infinity());
+
+  const double end = recorder.last_time();
+  for (int t = 0; t < recorder.tracks(); ++t)
+    os << kDestroyContainer << ' ' << num(end) << " RANK rank" << t << "\n";
+  os << kDestroyContainer << ' ' << num(end) << " SITE site\n";
+}
+
+std::string paje_trace(const Recorder& recorder) {
+  std::ostringstream os;
+  write_paje_trace(recorder, os);
+  return os.str();
+}
+
+void write_paje_trace_file(const Recorder& recorder,
+                           const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write '" + path.string() + "'");
+  write_paje_trace(recorder, out);
+  if (!out) throw IoError("failed writing '" + path.string() + "'");
+}
+
+}  // namespace tir::obs

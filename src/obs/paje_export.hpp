@@ -1,0 +1,28 @@
+// Paje trace exporter — the paper's visualization format.
+//
+// SimGrid's replayer emits Paje traces that tools like Vite and Paje
+// render as a per-process state timeline; this exporter writes the same
+// shape from a Recorder: an event-definition header, a container per rank
+// under one root container, and a PushState/PopState pair per span on the
+// per-rank "STATE" state type. Fault activations become PajeNewEvent rows
+// on the root container. Events are emitted in non-decreasing time order
+// (a Paje file-format requirement).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace tir::obs {
+
+void write_paje_trace(const Recorder& recorder, std::ostream& os);
+
+std::string paje_trace(const Recorder& recorder);
+
+/// Writes to `path`; throws tir::IoError when the file cannot be written.
+void write_paje_trace_file(const Recorder& recorder,
+                           const std::filesystem::path& path);
+
+}  // namespace tir::obs

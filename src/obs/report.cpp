@@ -1,0 +1,194 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tir::obs {
+
+namespace {
+
+bool can_jump(SpanKind kind) {
+  switch (category(kind)) {
+    case SpanCategory::wait:
+    case SpanCategory::collective:
+      return true;
+    case SpanCategory::p2p:
+      return kind == SpanKind::recv;
+    default:
+      return false;
+  }
+}
+
+void account(double* compute, double* p2p, double* wait, double* collective,
+             SpanKind kind, double duration) {
+  switch (category(kind)) {
+    case SpanCategory::compute: *compute += duration; break;
+    case SpanCategory::p2p: *p2p += duration; break;
+    case SpanCategory::wait: *wait += duration; break;
+    case SpanCategory::collective: *collective += duration; break;
+    case SpanCategory::activity: break;
+  }
+}
+
+}  // namespace
+
+TimelineReport analyze(const Recorder& recorder) {
+  TimelineReport report;
+  const int n = recorder.tracks();
+  report.ranks.resize(static_cast<std::size_t>(n));
+
+  for (int t = 0; t < n; ++t) {
+    RankTotals& totals = report.ranks[static_cast<std::size_t>(t)];
+    for (const Span& s : recorder.track_spans(t)) {
+      account(&totals.compute, &totals.p2p, &totals.wait, &totals.collective,
+              s.kind, s.end - s.start);
+      ++totals.spans;
+      totals.finish = std::max(totals.finish, s.end);
+    }
+    report.makespan = std::max(report.makespan, totals.finish);
+  }
+
+  // Per-destination edge index, sorted by arrival time (emission order is
+  // already chronological per destination; sort defensively and cheaply).
+  std::vector<std::vector<Edge>> in(static_cast<std::size_t>(n));
+  for (const Edge& e : recorder.edges())
+    if (e.dst >= 0 && e.dst < n) in[static_cast<std::size_t>(e.dst)].push_back(e);
+  for (auto& v : in)
+    std::stable_sort(v.begin(), v.end(), [](const Edge& a, const Edge& b) {
+      return a.dst_time < b.dst_time;
+    });
+
+  // Backward walk from the last span to finish.
+  int cur = -1;
+  for (int t = 0; t < n; ++t) {
+    const RankTotals& totals = report.ranks[static_cast<std::size_t>(t)];
+    if (totals.spans > 0 &&
+        (cur < 0 ||
+         totals.finish > report.ranks[static_cast<std::size_t>(cur)].finish))
+      cur = t;
+  }
+
+  if (cur >= 0) {
+    std::size_t idx = recorder.track_spans(cur).size() - 1;
+    double t_end = recorder.track_spans(cur)[idx].end;
+    // Termination backstop: each step either moves one span backwards or
+    // jumps strictly earlier along an edge; the cap catches pathological
+    // zero-latency edge cycles.
+    std::uint64_t steps = recorder.total_spans() + recorder.edges().size() + 8;
+
+    while (steps-- > 0) {
+      const Span& s = recorder.track_spans(cur)[idx];
+      const double seg_end = std::min(s.end, t_end);
+
+      const Edge* jump = nullptr;
+      if (can_jump(s.kind)) {
+        const auto& inbound = in[static_cast<std::size_t>(cur)];
+        // Latest arrival inside (s.start, seg_end]: the message whose
+        // delivery let this operation finish.
+        auto it = std::upper_bound(
+            inbound.begin(), inbound.end(), seg_end,
+            [](double t, const Edge& e) { return t < e.dst_time; });
+        while (it != inbound.begin()) {
+          --it;
+          if (it->dst_time <= s.start) break;
+          if (it->src >= 0 && it->src < n && it->src_time < seg_end &&
+              !recorder.track_spans(it->src).empty()) {
+            jump = &*it;
+            break;
+          }
+        }
+      }
+
+      // When the chain continues on the sender, the receiver was blocked up
+      // to the send instant — clip this segment so the path tiles time
+      // without double counting (category sums must stay <= makespan).
+      const double seg_start =
+          jump != nullptr ? std::max(s.start, jump->src_time) : s.start;
+      report.critical_path.push_back(
+          CritSegment{cur, s.kind, seg_start, seg_end});
+
+      if (jump != nullptr) {
+        const auto& src_spans = recorder.track_spans(jump->src);
+        // Last span on the sender starting at or before the send instant.
+        auto sit = std::upper_bound(
+            src_spans.begin(), src_spans.end(), jump->src_time,
+            [](double t, const Span& sp) { return t < sp.start; });
+        if (sit == src_spans.begin()) break;  // sent before any span
+        cur = jump->src;
+        idx = static_cast<std::size_t>(sit - src_spans.begin()) - 1;
+        t_end = jump->src_time;
+      } else {
+        if (idx == 0 || s.start <= 0.0) break;
+        t_end = s.start;
+        --idx;
+      }
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+    for (const CritSegment& seg : report.critical_path)
+      account(&report.path_compute, &report.path_p2p, &report.path_wait,
+              &report.path_collective, seg.kind, seg.end - seg.start);
+  }
+
+  return report;
+}
+
+std::string TimelineReport::render(std::size_t max_path_rows) const {
+  std::ostringstream os;
+  char buf[160];
+
+  os << "per-rank simulated-time breakdown (seconds):\n";
+  std::snprintf(buf, sizeof buf, "%5s %12s %12s %12s %12s %12s %8s\n",
+                "rank", "compute", "p2p", "wait", "collective", "finish",
+                "spans");
+  os << buf;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const RankTotals& t = ranks[r];
+    std::snprintf(buf, sizeof buf,
+                  "%5zu %12.6f %12.6f %12.6f %12.6f %12.6f %8llu\n", r,
+                  t.compute, t.p2p, t.wait, t.collective, t.finish,
+                  static_cast<unsigned long long>(t.spans));
+    os << buf;
+  }
+
+  const double path_total =
+      path_compute + path_p2p + path_wait + path_collective;
+  std::snprintf(buf, sizeof buf,
+                "\ncritical path: %zu segment(s) over makespan %.6f s\n",
+                critical_path.size(), makespan);
+  os << buf;
+  if (path_total > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  compute %5.1f%%   p2p %5.1f%%   wait %5.1f%%   "
+                  "collective %5.1f%%\n",
+                  100.0 * path_compute / path_total,
+                  100.0 * path_p2p / path_total,
+                  100.0 * path_wait / path_total,
+                  100.0 * path_collective / path_total);
+    os << buf;
+  }
+  const std::size_t rows = critical_path.size();
+  const std::size_t head =
+      rows <= max_path_rows ? rows : max_path_rows / 2;
+  const std::size_t tail =
+      rows <= max_path_rows ? 0 : max_path_rows - head;
+  const auto print_seg = [&](const CritSegment& seg) {
+    std::snprintf(buf, sizeof buf,
+                  "  [%12.6f .. %12.6f] rank %-4d %-10s %.6f s\n", seg.start,
+                  seg.end, seg.rank,
+                  std::string(to_string(seg.kind)).c_str(),
+                  seg.end - seg.start);
+    os << buf;
+  };
+  for (std::size_t i = 0; i < head; ++i) print_seg(critical_path[i]);
+  if (tail > 0) {
+    std::snprintf(buf, sizeof buf, "  ... %zu segment(s) elided ...\n",
+                  rows - head - tail);
+    os << buf;
+    for (std::size_t i = rows - tail; i < rows; ++i)
+      print_seg(critical_path[i]);
+  }
+  return os.str();
+}
+
+}  // namespace tir::obs

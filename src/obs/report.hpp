@@ -1,0 +1,61 @@
+// In-memory metrics summary and critical-path report.
+//
+// analyze() turns a Recorder into the numbers that explain a predicted
+// makespan:
+//   - per-rank totals: simulated seconds spent in compute / blocking p2p /
+//     request waits / collective phases,
+//   - the critical path: the slowest dependency chain, found by walking
+//     backwards from the last span to finish — within a rank time flows
+//     through consecutive spans; when a span completed because a message
+//     arrived (a recorded Edge closing at that instant), the walk jumps to
+//     the sending rank at the send time. The per-category split of the
+//     path tells which resource bounds the makespan (the what-if question
+//     every sensitivity sweep is really asking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace tir::obs {
+
+struct RankTotals {
+  double compute = 0.0;
+  double p2p = 0.0;
+  double wait = 0.0;
+  double collective = 0.0;
+  std::uint64_t spans = 0;
+  double finish = 0.0;  ///< end of the rank's last span
+
+  double busy() const { return compute + p2p + wait + collective; }
+};
+
+/// One hop of the critical path, in forward time order.
+struct CritSegment {
+  int rank = -1;
+  SpanKind kind = SpanKind::compute;
+  double start = 0.0;
+  double end = 0.0;
+
+  bool operator==(const CritSegment&) const = default;
+};
+
+struct TimelineReport {
+  double makespan = 0.0;
+  std::vector<RankTotals> ranks;
+
+  std::vector<CritSegment> critical_path;  ///< forward time order
+  double path_compute = 0.0;
+  double path_p2p = 0.0;
+  double path_wait = 0.0;
+  double path_collective = 0.0;
+
+  /// Human-readable tables (per-rank totals + the critical path).
+  std::string render(std::size_t max_path_rows = 20) const;
+};
+
+TimelineReport analyze(const Recorder& recorder);
+
+}  // namespace tir::obs

@@ -1,0 +1,88 @@
+// The simulated-time span model of the observability layer.
+//
+// A Span is one interval of a rank's simulated life: a compute burst, a
+// blocking p2p operation, a collective phase. Spans carry *simulated*
+// seconds — they explain a predicted makespan, not the simulator's own
+// wall-clock cost. An Edge is a cross-rank dependency (a matched message):
+// the raw material of the critical-path walk. A FaultEvent marks the
+// instant a fault-injection degradation activated; consumers render the
+// window from that instant to the end of the replay.
+//
+// Everything here is plain data with no dependency on the simulation
+// kernel, so the recorder can be wired into simkern and mpisim without a
+// layering cycle.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tir::obs {
+
+enum class SpanKind : std::uint8_t {
+  // Rank-track spans (outermost MPI operations, the Table 1 vocabulary).
+  compute,
+  send,
+  recv,
+  wait,      ///< MPI_Wait on a pending nonblocking request
+  waitall,
+  barrier,
+  bcast,
+  reduce,
+  allreduce,
+  gather,
+  allgather,
+  alltoall,
+  // Host-track spans (kernel activity detail, opt-in).
+  exec,      ///< one Exec fluid on a host CPU
+  transfer,  ///< one Transfer across a route (latency + flow)
+};
+
+/// Coarse accounting classes the reports aggregate by.
+enum class SpanCategory : std::uint8_t {
+  compute,     ///< CPU bursts
+  p2p,         ///< blocking send/recv time
+  wait,        ///< waiting on nonblocking requests
+  collective,  ///< collective phases
+  activity,    ///< kernel activity detail (host tracks)
+};
+
+std::string_view to_string(SpanKind kind);
+std::string_view to_string(SpanCategory category);
+SpanCategory category(SpanKind kind);
+
+/// One closed interval on a track. Rank tracks hold only outermost spans,
+/// so per track: start <= end, spans are disjoint and sorted by time.
+struct Span {
+  SpanKind kind = SpanKind::compute;
+  std::int32_t peer = -1;  ///< partner rank / destination host (-1 = none)
+  double start = 0.0;      ///< simulated seconds
+  double end = 0.0;
+  double volume = 0.0;     ///< flops or bytes, as the kind implies
+
+  bool operator==(const Span&) const = default;
+};
+
+/// A satisfied cross-rank dependency: the message sent by `src` at
+/// `src_time` (simulated) completed a receive on `dst` at `dst_time`.
+struct Edge {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  double src_time = 0.0;
+  double dst_time = 0.0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// A fault-injection degradation activating mid-replay.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { host, link };
+  Kind kind = Kind::host;
+  std::int32_t id = -1;    ///< host or link id in the platform
+  double time = 0.0;       ///< simulated activation instant
+  double factor = 1.0;     ///< power (host) or bandwidth (link) multiplier
+  double factor2 = 1.0;    ///< latency multiplier (links)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+}  // namespace tir::obs

@@ -96,12 +96,27 @@ void run_scenario_into(const ScenarioSpec& spec, const ActionRegistry& registry,
                    std::to_string(nprocs));
   const std::vector<ResolvedFault> faults = resolve_faults(spec);
 
+  // The recorder is constructed (and stored into the result) before the
+  // engine and world: deadlocked rank frames close their open spans from
+  // OpScope destructors during World teardown, so it must outlive both.
+  std::shared_ptr<obs::Recorder> owned_recorder;
+  obs::Recorder* recorder = spec.config.recorder;
+  if (recorder == nullptr && spec.config.record_spans) {
+    owned_recorder =
+        std::make_shared<obs::Recorder>(spec.config.span_activity_detail);
+    recorder = owned_recorder.get();
+    result.spans = owned_recorder;
+  }
+
   // Every mutable piece of the simulation lives below this line, scoped to
   // this call: the engine (event heaps, route cache, fluid state), the MPI
   // world (matching queues) and the per-process replay contexts.
   sim::Engine engine(*spec.platform,
-                     sim::EngineConfig{.full_solve = spec.config.full_solve});
-  mpi::World world(engine, spec.process_hosts, spec.config.mpi);
+                     sim::EngineConfig{.full_solve = spec.config.full_solve,
+                                       .recorder = recorder});
+  mpi::Config mpi_config = spec.config.mpi;
+  if (recorder != nullptr) mpi_config.recorder = recorder;
+  mpi::World world(engine, spec.process_hosts, mpi_config);
 
   result.process_finish_times.assign(static_cast<std::size_t>(nprocs), 0.0);
 

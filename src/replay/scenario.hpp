@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "platform/platform.hpp"
 #include "replay/registry.hpp"
 #include "trace/trace_set.hpp"
@@ -30,6 +31,18 @@ struct ReplayConfig {
   /// Disable the incremental network solver (full re-solve on every change)
   /// — the reference path for differential testing; results must match.
   bool full_solve = false;
+  /// Record the span timeline (src/obs/): one span per outermost MPI
+  /// operation per rank, message edges, fault events. The run allocates a
+  /// Recorder and returns it through ReplayResult::spans. Recording must
+  /// not change simulated results — the determinism tests assert it.
+  bool record_spans = false;
+  /// With record_spans: also record kernel activity detail (every Exec and
+  /// Transfer) on per-host tracks. Voluminous; off by default.
+  bool span_activity_detail = false;
+  /// External recorder; overrides record_spans allocation (spans stays
+  /// null). Must outlive the run. Lets a caller aggregate several replays
+  /// onto one timeline.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One row of the optional timed trace.
@@ -46,6 +59,10 @@ struct ReplayResult {
   std::uint64_t actions_replayed = 0;
   sim::EngineStats engine_stats;
   std::vector<TimedAction> timed_trace;     ///< when requested
+  /// Span timeline when ReplayConfig::record_spans was set; null otherwise
+  /// (or when an external ReplayConfig::recorder was supplied). Populated
+  /// even on deadlock/failure — a partial timeline up to the stop point.
+  std::shared_ptr<const obs::Recorder> spans;
 };
 
 /// One injected fault: a host or link degrading at a simulated time. The

@@ -32,6 +32,8 @@ class Activity : public std::enable_shared_from_this<Activity> {
 
   Kind kind() const { return kind_; }
   bool done() const { return done_; }
+  /// Simulated time at which the activity was created.
+  SimTime start_time() const { return start_time_; }
   /// Simulated time at which the activity completed (-1 while running).
   SimTime finish_time() const { return finish_time_; }
 
@@ -42,6 +44,7 @@ class Activity : public std::enable_shared_from_this<Activity> {
   friend class Engine;
   Kind kind_;
   bool done_ = false;
+  SimTime start_time_ = 0.0;
   SimTime finish_time_ = -1.0;
   std::vector<std::coroutine_handle<>> waiters_;
 };

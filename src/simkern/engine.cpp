@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -143,6 +144,7 @@ std::shared_ptr<Exec> Engine::exec_async(int host, double flops,
   auto exec = std::make_shared<Exec>();
   exec->host = host;
   exec->flops = flops;
+  exec->start_time_ = now_;
   ++stats_.activities;
   if (flops <= 0) {
     complete(*exec);
@@ -185,6 +187,8 @@ void Engine::degrade_host(int host, double factor) {
     throw SimError("degrade_host: unknown host id " + std::to_string(host));
   if (factor <= 0) throw SimError("degrade_host: factor must be > 0");
   host_power_factor_[static_cast<std::size_t>(host)] = factor;
+  if (config_.recorder)
+    config_.recorder->fault(now_, obs::FaultEvent::Kind::host, host, factor);
   // reschedule_host re-rates every running Exec whose equal share changed
   // (set_rate catches each fluid up at its old rate first).
   reschedule_host(host);
@@ -202,6 +206,9 @@ void Engine::degrade_link(int link, double bandwidth_factor,
   net_lmm_.set_capacity(res,
                         platform_.link(link).bandwidth * bandwidth_factor);
   link_latency_factor_[static_cast<std::size_t>(link)] = latency_factor;
+  if (config_.recorder)
+    config_.recorder->fault(now_, obs::FaultEvent::Kind::link, link,
+                            bandwidth_factor, latency_factor);
   // Cached route latencies embed the old factor. Only routes crossing the
   // degraded link are stale; keep the rest so sweeps with faults don't pay
   // a full route recomputation.
@@ -222,6 +229,7 @@ std::shared_ptr<Transfer> Engine::transfer_async(int src_host, int dst_host,
   transfer->src_host = src_host;
   transfer->dst_host = dst_host;
   transfer->bytes = bytes;
+  transfer->start_time_ = now_;
   ++stats_.activities;
 
   const CachedRoute& route = cached_route(src_host, dst_host);
@@ -246,6 +254,7 @@ std::shared_ptr<Transfer> Engine::injection_async(int host, double bytes) {
   transfer->dst_host = host;
   transfer->bytes = bytes;
   transfer->amount = bytes;
+  transfer->start_time_ = now_;
   ++stats_.activities;
   const plat::LinkId loopback = platform_.host(host).loopback;
   if (loopback != plat::kNone)
@@ -259,6 +268,7 @@ std::shared_ptr<Timer> Engine::timer_async(SimTime duration) {
   if (duration < 0) throw SimError("timer_async: negative duration");
   auto timer = std::make_shared<Timer>();
   timer->fire_at = now_ + duration;
+  timer->start_time_ = now_;
   ++stats_.activities;
   if (duration == 0) {
     complete(*timer);
@@ -272,6 +282,7 @@ std::shared_ptr<Timer> Engine::timer_async(SimTime duration) {
 GatePtr Engine::make_gate() {
   auto gate = std::make_shared<Gate>();
   gate->engine_ = this;
+  gate->start_time_ = now_;
   ++stats_.activities;
   return gate;
 }
@@ -297,6 +308,19 @@ void Engine::complete(Activity& activity) {
   if (activity.done_) return;
   activity.done_ = true;
   activity.finish_time_ = now_;
+  if (config_.recorder && config_.recorder->activity_detail()) {
+    if (activity.kind() == Activity::Kind::exec) {
+      const auto& exec = static_cast<const Exec&>(activity);
+      config_.recorder->activity_span(exec.host, -1, obs::SpanKind::exec,
+                                      exec.start_time_, now_, exec.flops);
+    } else if (activity.kind() == Activity::Kind::transfer) {
+      const auto& transfer = static_cast<const Transfer&>(activity);
+      config_.recorder->activity_span(transfer.src_host, transfer.dst_host,
+                                      obs::SpanKind::transfer,
+                                      transfer.start_time_, now_,
+                                      transfer.bytes);
+    }
+  }
   switch (activity.kind()) {
     case Activity::Kind::exec: {
       auto& exec = static_cast<Exec&>(activity);

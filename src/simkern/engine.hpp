@@ -35,6 +35,10 @@
 #include "simkern/co.hpp"
 #include "simkern/maxmin.hpp"
 
+namespace tir::obs {
+class Recorder;
+}
+
 namespace tir::sim {
 
 class Process {
@@ -74,6 +78,12 @@ struct EngineConfig {
   /// every change instead of only the modified connected components —
   /// the reference path for differential testing of the incremental solver.
   bool full_solve = false;
+  /// Observability sink, or null (the default: recording fully disabled,
+  /// costing one pointer test per emission site). The engine records fault
+  /// activations always, and per-activity spans on host tracks when the
+  /// recorder's activity_detail flag is set. The recorder must outlive the
+  /// engine and is only touched from the simulation thread.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct EngineStats {

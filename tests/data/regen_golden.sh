@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate the committed exporter golden files after an *intentional*
+# format change. Run from the repo root with a configured build directory
+# (default: build). The golden comparison in obs_export_test will fail
+# until the new bytes are committed alongside the exporter change.
+set -eu
+build=${1:-build}
+TIR_REGEN_GOLDEN=1 "$build/tests/test_obs" \
+    --gtest_filter='ObsExportTest.ChromeJsonMatchesGolden'
+echo "regenerated: $(dirname "$0")/lu_s4_chrome_golden.json"

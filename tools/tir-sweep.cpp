@@ -2,7 +2,10 @@
 // what-if workload as a single command).
 //
 // Usage:
-//   tir-sweep [--workers N] [--format csv|json] [--output FILE] LIST
+//   tir-sweep [--workers N] [--format csv|json] [--output FILE] [--obs] LIST
+//
+// --obs records the span timeline for every scenario and appends per-rank
+// average compute / p2p / wait / collective seconds to each result row.
 //
 // The list file holds one scenario per non-comment line, as whitespace-
 // separated key=value pairs:
@@ -38,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "platform/deployment.hpp"
 #include "platform/platform_file.hpp"
 #include "replay/sweep.hpp"
@@ -53,7 +57,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--format csv|json] [--output FILE] "
-               "SCENARIOS.list\n"
+               "[--obs] SCENARIOS.list\n"
                "see the header of tools/tir-sweep.cpp for the list format\n",
                argv0);
   std::exit(2);
@@ -257,6 +261,29 @@ replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
   return spec;
 }
 
+/// Per-rank averages over the recorded span totals (the --obs columns).
+struct ObsAverages {
+  double compute = 0.0, p2p = 0.0, wait = 0.0, collective = 0.0;
+};
+
+ObsAverages obs_averages(const obs::Recorder& recorder) {
+  const obs::TimelineReport report = obs::analyze(recorder);
+  ObsAverages avg;
+  if (report.ranks.empty()) return avg;
+  for (const auto& r : report.ranks) {
+    avg.compute += r.compute;
+    avg.p2p += r.p2p;
+    avg.wait += r.wait;
+    avg.collective += r.collective;
+  }
+  const double n = static_cast<double>(report.ranks.size());
+  avg.compute /= n;
+  avg.p2p /= n;
+  avg.wait /= n;
+  avg.collective /= n;
+  return avg;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -289,6 +316,7 @@ std::string csv_cell(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string list_arg, format = "csv", output;
+  bool want_obs = false;
   replay::SweepOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -310,6 +338,8 @@ int main(int argc, char** argv) {
       if (format != "csv" && format != "json") usage(argv[0]);
     } else if (arg == "--output") {
       output = next();
+    } else if (arg == "--obs") {
+      want_obs = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -355,6 +385,8 @@ int main(int argc, char** argv) {
     }
     if (scenarios.empty())
       throw Error("scenario list '" + list_file.string() + "' is empty");
+    if (want_obs)
+      for (auto& spec : scenarios) spec.config.record_spans = true;
 
     const replay::SweepRunner runner(options);
     std::fprintf(stderr, "tir-sweep: %zu scenario(s) on %d worker(s)\n",
@@ -364,7 +396,9 @@ int main(int argc, char** argv) {
     std::ostringstream os;
     if (format == "csv") {
       os << "name,status,processes,actions_replayed,simulated_time,coverage,"
-            "error\n";
+            "error";
+      if (want_obs) os << ",avg_compute,avg_p2p,avg_wait,avg_collective";
+      os << '\n';
       for (const auto& r : results) {
         os << r.name << ',' << replay::to_string(r.status) << ','
            << r.replay.process_finish_times.size() << ','
@@ -373,7 +407,20 @@ int main(int argc, char** argv) {
         std::snprintf(buf, sizeof buf, "%.9f", r.replay.simulated_time);
         os << (r.ok ? buf : "") << ',';
         std::snprintf(buf, sizeof buf, "%.6f", r.coverage);
-        os << buf << ',' << (r.ok ? "" : csv_cell(r.error)) << '\n';
+        os << buf << ',' << (r.ok ? "" : csv_cell(r.error));
+        if (want_obs) {
+          if (r.replay.spans) {
+            const ObsAverages avg = obs_averages(*r.replay.spans);
+            for (const double v :
+                 {avg.compute, avg.p2p, avg.wait, avg.collective}) {
+              std::snprintf(buf, sizeof buf, "%.9f", v);
+              os << ',' << buf;
+            }
+          } else {
+            os << ",,,,";
+          }
+        }
+        os << '\n';
       }
     } else {
       os << "[\n";
@@ -389,6 +436,17 @@ int main(int argc, char** argv) {
           os << ", \"processes\": " << r.replay.process_finish_times.size()
              << ", \"actions_replayed\": " << r.replay.actions_replayed
              << ", \"simulated_time\": " << buf;
+          if (want_obs && r.replay.spans) {
+            const ObsAverages avg = obs_averages(*r.replay.spans);
+            const auto field = [&](const char* key, double v) {
+              std::snprintf(buf, sizeof buf, "%.9f", v);
+              os << ", \"" << key << "\": " << buf;
+            };
+            field("avg_compute", avg.compute);
+            field("avg_p2p", avg.p2p);
+            field("avg_wait", avg.wait);
+            field("avg_collective", avg.collective);
+          }
         } else {
           os << ", \"error\": \"" << json_escape(r.error) << "\"";
           if (!r.diagnostics.empty()) {
@@ -412,10 +470,24 @@ int main(int argc, char** argv) {
       out << os.str();
     }
 
+    // Any failed scenario fails the sweep — a mid-list deadlock must not
+    // exit 0 just because the remaining rows came out fine.
+    std::size_t failed = 0;
     for (const auto& r : results)
-      if (!r.ok) return 1;
+      if (!r.ok) ++failed;
+    if (failed > 0) {
+      std::fprintf(stderr, "error: %zu of %zu scenario(s) failed\n", failed,
+                   results.size());
+      return 1;
+    }
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "tir-sweep: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   return 0;
