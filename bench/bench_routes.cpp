@@ -1,0 +1,81 @@
+// bench_routes — topology-builder and route-computation microbenchmarks.
+//
+// For every registry topology: wall time to build the platform (graph
+// construction + BFS next-hop tables) and route() throughput over
+// host pairs, with the mean route length as a sanity column. Guards the
+// tentpole's costs: platform build is per-sweep-scenario, route() is on
+// the engine's cache-miss path.
+//
+// Run directly for the table, or `cmake --build build --target
+// bench-routes-record` to append the results under bench/results/.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "platform/platform.hpp"
+#include "platform/topology.hpp"
+
+using namespace tir;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void bench_one(const std::string& spec) {
+  const auto t_build = Clock::now();
+  const plat::Platform platform = plat::make_platform(spec);
+  const double build_ms = ms_since(t_build);
+
+  const int n = static_cast<int>(platform.host_count());
+  // All pairs up to ~1e5 routes per repetition; larger platforms sample a
+  // deterministic stride so every benchmark stays O(100ms).
+  const int stride = n * n > 100'000 ? n * n / 100'000 + 1 : 1;
+  std::size_t routes = 0;
+  std::size_t links = 0;
+  const auto t_routes = Clock::now();
+  double route_ms = 0.0;
+  do {
+    for (long long pair = 0; pair < static_cast<long long>(n) * n;
+         pair += stride) {
+      const int src = static_cast<int>(pair / n);
+      const int dst = static_cast<int>(pair % n);
+      links += platform.route(src, dst).links.size();
+      ++routes;
+    }
+    route_ms = ms_since(t_routes);
+  } while (route_ms < 50.0);
+
+  std::printf("%-44s %6d %10.2f %12.0f %8.2f\n", spec.c_str(), n, build_ms,
+              static_cast<double>(routes) / (route_ms / 1e3),
+              static_cast<double>(links) / static_cast<double>(routes));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_routes: topology build time and route throughput",
+                "build_ms = make_platform(spec); routes/s = Platform::route() "
+                "over host pairs\n(cold cache: the engine memoises per-pair "
+                "routes on top of this)");
+  std::printf("%-44s %6s %10s %12s %8s\n", "spec", "hosts", "build_ms",
+              "routes/s", "links");
+  for (const char* spec : {
+           "cluster:hosts=256",
+           "bordereau:nodes=93",
+           "gdx:nodes=186",
+           "dragonfly:groups=9,routers=4,hosts=2",
+           "dragonfly:groups=9,routers=4,hosts=2,routing=valiant",
+           "dragonfly:groups=17,routers=8,hosts=4,globals=2",
+           "fattree:k=8",
+           "fattree:k=8,routing=shortest",
+           "torus:dims=8x8x4",
+           "torus:dims=8x8x4,routing=shortest",
+       })
+    bench_one(spec);
+  return 0;
+}

@@ -10,6 +10,8 @@
 // EXPERIMENTS.md compares.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>

@@ -90,4 +90,23 @@ Deployment load_deployment_file(const std::string& path) {
   return load_deployment_text(buffer.str());
 }
 
+std::vector<HostId> resolve_deployment_spec(const std::string& file_or_spec,
+                                            const Platform& platform,
+                                            int nprocs) {
+  if (file_or_spec == "block" || file_or_spec == "roundrobin" ||
+      file_or_spec == "rr") {
+    if (nprocs < 1)
+      throw Error("deployment '" + file_or_spec + "': no processes");
+    std::vector<HostId> hosts(platform.host_count());
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      hosts[i] = static_cast<HostId>(i);
+    const Deployment d =
+        file_or_spec == "block"
+            ? Deployment::block(platform, hosts, nprocs)
+            : Deployment::round_robin(platform, hosts, nprocs);
+    return d.resolve(platform);
+  }
+  return load_deployment_file(file_or_spec).resolve(platform);
+}
+
 }  // namespace tir::plat

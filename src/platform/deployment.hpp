@@ -42,4 +42,13 @@ Deployment load_deployment_text(const std::string& xml_text);
 /// Parses a deployment file from disk.
 Deployment load_deployment_file(const std::string& path);
 
+/// Resolves a CLI deployment argument: "block" places process i on host
+/// i*ceil(n/hosts) (contiguous fill), "roundrobin" (or "rr") on host
+/// i % host_count — both over every platform host in id order, which for
+/// registry-built topologies (topology.hpp) is deployment order. Anything
+/// else loads as a deployment file. Returns process -> host ids.
+std::vector<HostId> resolve_deployment_spec(const std::string& file_or_spec,
+                                            const Platform& platform,
+                                            int nprocs);
+
 }  // namespace tir::plat

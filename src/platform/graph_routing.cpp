@@ -1,0 +1,140 @@
+#include "platform/graph_routing.hpp"
+
+#include <deque>
+
+#include "platform/platform.hpp"
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+int GraphRouting::add_switch(std::string switch_name) {
+  if (finalized_) throw Error("graph routing: add_switch after finalize");
+  adj_.emplace_back();
+  switch_names_.push_back(std::move(switch_name));
+  return static_cast<int>(adj_.size() - 1);
+}
+
+void GraphRouting::connect(int sw_a, int sw_b, LinkId link) {
+  if (finalized_) throw Error("graph routing: connect after finalize");
+  const auto valid = [this](int sw) {
+    return sw >= 0 && static_cast<std::size_t>(sw) < adj_.size();
+  };
+  if (!valid(sw_a) || !valid(sw_b))
+    throw Error("graph routing: connect with unknown switch id");
+  if (sw_a == sw_b) throw Error("graph routing: self-loop on switch '" +
+                                switch_names_[static_cast<std::size_t>(sw_a)] +
+                                "'");
+  for (const Edge& e : adj_[static_cast<std::size_t>(sw_a)])
+    if (e.to == sw_b)
+      throw Error("graph routing: duplicate edge between '" +
+                  switch_names_[static_cast<std::size_t>(sw_a)] + "' and '" +
+                  switch_names_[static_cast<std::size_t>(sw_b)] + "'");
+  adj_[static_cast<std::size_t>(sw_a)].push_back(Edge{sw_b, link});
+  adj_[static_cast<std::size_t>(sw_b)].push_back(Edge{sw_a, link});
+}
+
+void GraphRouting::attach_host(HostId host, int sw) {
+  if (finalized_) throw Error("graph routing: attach_host after finalize");
+  if (sw < 0 || static_cast<std::size_t>(sw) >= adj_.size())
+    throw Error("graph routing: attach_host to unknown switch");
+  if (host < 0) throw Error("graph routing: invalid host id");
+  if (static_cast<std::size_t>(host) >= host_switch_.size())
+    host_switch_.resize(static_cast<std::size_t>(host) + 1, -1);
+  host_switch_[static_cast<std::size_t>(host)] = sw;
+}
+
+void GraphRouting::finalize() {
+  if (finalized_) throw Error("graph routing: finalize called twice");
+  const std::size_t n = adj_.size();
+  next_.assign(n * n, -1);
+  dist_.assign(n * n, -1);
+  std::deque<int> queue;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::int32_t* next = next_.data() + t * n;
+    std::int32_t* dist = dist_.data() + t * n;
+    dist[t] = 0;
+    queue.clear();
+    queue.push_back(static_cast<int>(t));
+    // BFS outward from the destination: discovering `v` through `u` means
+    // the first hop from v towards t is u. Edge insertion order breaks
+    // ties, so the table — and every route — is deterministic.
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+        if (dist[e.to] != -1) continue;
+        dist[e.to] = dist[u] + 1;
+        next[e.to] = u;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+int GraphRouting::switch_of(HostId host) const {
+  if (host < 0 || static_cast<std::size_t>(host) >= host_switch_.size() ||
+      host_switch_[static_cast<std::size_t>(host)] < 0)
+    throw Error("graph routing: host " + std::to_string(host) +
+                " is not attached to a switch");
+  return host_switch_[static_cast<std::size_t>(host)];
+}
+
+const std::string& GraphRouting::switch_name(int sw) const {
+  return switch_names_.at(static_cast<std::size_t>(sw));
+}
+
+LinkId GraphRouting::edge_link(int sw_a, int sw_b) const {
+  for (const Edge& e : adj_.at(static_cast<std::size_t>(sw_a)))
+    if (e.to == sw_b) return e.link;
+  throw Error("graph routing: switches '" +
+              switch_names_.at(static_cast<std::size_t>(sw_a)) + "' and '" +
+              switch_names_.at(static_cast<std::size_t>(sw_b)) +
+              "' are not adjacent");
+}
+
+int GraphRouting::switch_distance(int sw_a, int sw_b) const {
+  if (!finalized_) throw Error("graph routing: switch_distance before finalize");
+  const std::size_t n = adj_.size();
+  const std::int32_t d =
+      dist_.at(static_cast<std::size_t>(sw_b) * n +
+               static_cast<std::size_t>(sw_a));
+  if (d < 0)
+    throw Error("graph routing: switches are not connected");
+  return d;
+}
+
+void GraphRouting::append_shortest(int from_sw, int to_sw,
+                                   std::vector<LinkId>& out) const {
+  const std::size_t n = adj_.size();
+  const std::int32_t* next = next_.data() + static_cast<std::size_t>(to_sw) * n;
+  int at = from_sw;
+  while (at != to_sw) {
+    const std::int32_t hop = next[at];
+    if (hop < 0)
+      throw Error("graph routing: no path between '" +
+                  switch_names_.at(static_cast<std::size_t>(at)) + "' and '" +
+                  switch_names_.at(static_cast<std::size_t>(to_sw)) + "'");
+    out.push_back(edge_link(at, hop));
+    at = hop;
+  }
+}
+
+void GraphRouting::switch_route(int src_sw, int dst_sw, HostId /*src*/,
+                                HostId /*dst*/, std::vector<LinkId>& out) const {
+  append_shortest(src_sw, dst_sw, out);
+}
+
+std::vector<LinkId> GraphRouting::links(const Platform& platform, HostId src,
+                                        HostId dst) const {
+  if (!finalized_) throw Error("graph routing: route before finalize");
+  std::vector<LinkId> out;
+  const HostDesc& a = platform.host(src);
+  const HostDesc& b = platform.host(dst);
+  if (a.uplink != kNone) out.push_back(a.uplink);
+  switch_route(switch_of(src), switch_of(dst), src, dst, out);
+  if (b.uplink != kNone) out.push_back(b.uplink);
+  return out;
+}
+
+}  // namespace tir::plat

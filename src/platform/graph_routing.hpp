@@ -1,0 +1,85 @@
+// GraphRouting: static routing over an explicit switch/link graph.
+//
+// The tree provider cannot express modern interconnects — a dragonfly's
+// group-local all-to-all, a fat-tree's multipath core, a torus's rings all
+// have cycles. GraphRouting models the fabric as an undirected graph of
+// switches joined by platform links; hosts attach to one switch each and
+// reach it through their NIC link (HostDesc::uplink). A route is then
+//   <src NIC, switch-to-switch links..., dst NIC>.
+//
+// Path selection is deterministic and oblivious (see route_provider.hpp).
+// The base class precomputes per-destination BFS next-hop tables with a
+// fixed tie-break (first edge in insertion order wins), giving shortest
+// static paths out of the box; topology providers (topo_*.cpp) override
+// switch_route() with structured routing — dimension-order for the torus,
+// D-mod-k for the fat-tree, minimal/valiant for the dragonfly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/route_provider.hpp"
+
+namespace tir::plat {
+
+class GraphRouting : public RouteProvider {
+ public:
+  explicit GraphRouting(std::string name) : name_(std::move(name)) {}
+
+  // -- construction (topology builders only) -------------------------------
+  /// Adds a switch node; returns its dense id.
+  int add_switch(std::string switch_name);
+  /// Joins two switches through `link` (undirected; one link per pair).
+  void connect(int sw_a, int sw_b, LinkId link);
+  /// Places a host on a switch. The host reaches it through its NIC
+  /// (HostDesc::uplink); the host's junction is never consulted.
+  void attach_host(HostId host, int sw);
+  /// Precomputes the shortest-path next-hop tables. Call once, after the
+  /// last connect/attach and before installing the provider — queries on a
+  /// non-finalized provider throw.
+  void finalize();
+
+  // -- RouteProvider --------------------------------------------------------
+  std::vector<LinkId> links(const Platform& platform, HostId src,
+                            HostId dst) const override;
+  std::string name() const override { return name_; }
+
+  // -- queries --------------------------------------------------------------
+  std::size_t switch_count() const { return adj_.size(); }
+  int switch_of(HostId host) const;
+  const std::string& switch_name(int sw) const;
+  /// The link joining two adjacent switches; throws when not adjacent.
+  LinkId edge_link(int sw_a, int sw_b) const;
+  /// Shortest switch-to-switch hop count (finalize() first).
+  int switch_distance(int sw_a, int sw_b) const;
+
+ protected:
+  /// Appends the switch-to-switch link sequence from `src_sw` to `dst_sw`.
+  /// Default: follow the precomputed BFS next hops. Overrides may use the
+  /// src/dst *hosts* for destination- or pair-keyed path selection.
+  virtual void switch_route(int src_sw, int dst_sw, HostId src, HostId dst,
+                            std::vector<LinkId>& out) const;
+
+  /// Follows the BFS next-hop table from `from_sw` to `to_sw`.
+  void append_shortest(int from_sw, int to_sw, std::vector<LinkId>& out) const;
+
+ private:
+  struct Edge {
+    int to;
+    LinkId link;
+  };
+
+  std::string name_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::string> switch_names_;
+  std::vector<int> host_switch_;  // HostId -> switch id, -1 when unplaced
+  // Flattened [dst * switch_count + node] tables; next_[.] is the node's
+  // neighbour on the deterministic shortest path towards dst (-1 when
+  // unreachable or node == dst).
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> dist_;
+  bool finalized_ = false;
+};
+
+}  // namespace tir::plat

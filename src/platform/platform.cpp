@@ -7,7 +7,14 @@
 
 namespace tir::plat {
 
-Platform::Platform() = default;
+Platform::Platform()
+    : route_provider_(std::make_shared<const TreeRouting>()) {}
+
+void Platform::set_route_provider(
+    std::shared_ptr<const RouteProvider> provider) {
+  if (!provider) throw Error("set_route_provider: null provider");
+  route_provider_ = std::move(provider);
+}
 
 JunctionId Platform::add_junction(std::string name, JunctionId parent,
                                   LinkId uplink, LinkId transit) {
@@ -59,6 +66,10 @@ const HostDesc& Platform::host(HostId id) const {
   return hosts_.at(static_cast<std::size_t>(id));
 }
 
+const JunctionDesc& Platform::junction(JunctionId id) const {
+  return junctions_.at(static_cast<std::size_t>(id));
+}
+
 const LinkDesc& Platform::link(LinkId id) const {
   return links_.at(static_cast<std::size_t>(id));
 }
@@ -100,9 +111,13 @@ void Platform::add_explicit_route(HostId src, HostId dst,
   explicit_routes_[pair_key(src, dst)] = std::move(links);
 }
 
+const std::vector<LinkId>* Platform::explicit_route(HostId src,
+                                                    HostId dst) const {
+  const auto it = explicit_routes_.find(pair_key(src, dst));
+  return it == explicit_routes_.end() ? nullptr : &it->second;
+}
+
 Route Platform::route(HostId src, HostId dst) const {
-  const HostDesc& a = host(src);
-  const HostDesc& b = host(dst);
   Route out;
   out.min_bandwidth = std::numeric_limits<double>::infinity();
 
@@ -115,67 +130,11 @@ Route Platform::route(HostId src, HostId dst) const {
   };
 
   if (src == dst) {
-    push(a.loopback);
+    push(host(src).loopback);
     return out;
   }
 
-  if (!explicit_routes_.empty()) {
-    const auto it = explicit_routes_.find(pair_key(src, dst));
-    if (it == explicit_routes_.end())
-      throw Error("route: no explicit route between '" + a.name + "' and '" +
-                  b.name + "'");
-    for (const LinkId l : it->second) push(l);
-    return out;
-  }
-
-  push(a.uplink);
-
-  if (a.junction == b.junction) {
-    // Same switch: traverse its transit link (the cluster backbone).
-    push(junctions_[static_cast<std::size_t>(a.junction)].transit);
-  } else {
-    // Climb both sides to their lowest common ancestor. Collect the uphill
-    // links from each side, plus every transit link of the junctions the
-    // route passes through (including the LCA itself).
-    JunctionId ja = a.junction;
-    JunctionId jb = b.junction;
-    std::vector<LinkId> down;  // collected from b's side; appended reversed
-
-    // Climbing a junction means the route passes through it: traverse its
-    // transit link (the switch crossbar / backbone) and its uplink.
-    const auto up_a = [&](JunctionId& j) {
-      const JunctionDesc& d = junctions_[static_cast<std::size_t>(j)];
-      push(d.transit);
-      push(d.uplink);
-      j = d.parent;
-    };
-    const auto up_b = [&](JunctionId& j) {
-      const JunctionDesc& d = junctions_[static_cast<std::size_t>(j)];
-      if (d.transit != kNone) down.push_back(d.transit);
-      if (d.uplink != kNone) down.push_back(d.uplink);
-      j = d.parent;
-    };
-
-    while (ja != jb) {
-      if (ja == kNone || jb == kNone)
-        throw Error("route: hosts are not connected");
-      const int da = junctions_[static_cast<std::size_t>(ja)].depth;
-      const int db = junctions_[static_cast<std::size_t>(jb)].depth;
-      if (da > db) {
-        up_a(ja);
-      } else if (db > da) {
-        up_b(jb);
-      } else {
-        up_a(ja);
-        up_b(jb);
-      }
-    }
-    // Traverse the LCA's transit link once.
-    push(junctions_[static_cast<std::size_t>(ja)].transit);
-    for (auto it = down.rbegin(); it != down.rend(); ++it) push(*it);
-  }
-
-  push(b.uplink);
+  for (const LinkId l : route_provider_->links(*this, src, dst)) push(l);
   return out;
 }
 

@@ -1,27 +1,29 @@
-// Platform description: hosts, links, and hierarchical routing.
+// Platform description: hosts, links, and pluggable routing.
 //
-// A Platform is a pure data model (no simulation state). Routing follows a
-// tree of junctions: every host hangs off a junction through an "uplink"
-// link; a junction may itself have an uplink towards its parent junction and
-// a "transit" link that is traversed whenever a route passes through it
+// A Platform is a pure data model (no simulation state). Route computation
+// is delegated to a RouteProvider (route_provider.hpp): the default is
+// TreeRouting — every host hangs off a junction through an "uplink" link; a
+// junction may itself have an uplink towards its parent junction and a
+// "transit" link that is traversed whenever a route passes through it
 // (this models the cluster backbone of the paper's Figure 5: the route
 // between two nodes of a cluster is <uplink_a, backbone, uplink_b> — two
 // links and one switch, which is exactly the topology assumed by the
-// latency-calibration rule of §5).
+// latency-calibration rule of §5). Graph topologies (dragonfly, fat-tree,
+// torus — see topology.hpp) install a GraphRouting provider instead.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "platform/netmodel.hpp"
+#include "platform/route_provider.hpp"
 
 namespace tir::plat {
 
-using HostId = int;
-using LinkId = int;
 using JunctionId = int;
 
 constexpr int kNone = -1;
@@ -71,6 +73,11 @@ class Platform {
   void set_loopback(HostId host, double bandwidth, double latency);
   void set_net_model(PiecewiseNetModel model) { net_model_ = model; }
 
+  /// Replaces the routing strategy (default: TreeRouting). The provider is
+  /// shared because Platform copies must stay cheap; providers are
+  /// immutable once installed, so sharing is safe across sweep workers.
+  void set_route_provider(std::shared_ptr<const RouteProvider> provider);
+
   /// Registers an explicit route between two hosts (both directions),
   /// overriding tree routing for the pair — the "Full" routing of
   /// SimGrid-style <route src=... dst=...> platform files. Once any
@@ -94,8 +101,19 @@ class Platform {
   std::optional<LinkId> find_link(const std::string& name) const;
 
   /// Computes the route between two hosts. src == dst yields the loopback
-  /// link (or an empty zero-latency route when no loopback is configured).
+  /// link (or an empty zero-latency route when no loopback is configured);
+  /// every other pair is delegated to the route provider and the traversed
+  /// links are folded into latency / min-bandwidth sums in provider order.
   Route route(HostId src, HostId dst) const;
+
+  const RouteProvider& route_provider() const { return *route_provider_; }
+
+  // -- structure queries (for RouteProviders) ------------------------------
+  std::size_t junction_count() const { return junctions_.size(); }
+  const JunctionDesc& junction(JunctionId id) const;
+  bool has_explicit_routes() const { return !explicit_routes_.empty(); }
+  /// The registered explicit route for (src, dst), or nullptr.
+  const std::vector<LinkId>* explicit_route(HostId src, HostId dst) const;
 
  private:
   std::vector<HostDesc> hosts_;
@@ -103,6 +121,7 @@ class Platform {
   std::vector<JunctionDesc> junctions_;
   std::unordered_map<std::string, HostId> host_names_;
   std::unordered_map<std::uint64_t, std::vector<LinkId>> explicit_routes_;
+  std::shared_ptr<const RouteProvider> route_provider_;
   PiecewiseNetModel net_model_ = PiecewiseNetModel::default_cluster_model();
 };
 

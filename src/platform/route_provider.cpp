@@ -1,0 +1,77 @@
+#include "platform/route_provider.hpp"
+
+#include "platform/platform.hpp"
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+std::vector<LinkId> TreeRouting::links(const Platform& platform, HostId src,
+                                       HostId dst) const {
+  const HostDesc& a = platform.host(src);
+  const HostDesc& b = platform.host(dst);
+  std::vector<LinkId> out;
+
+  const auto push = [&](LinkId id) {
+    if (id != kNone) out.push_back(id);
+  };
+
+  if (platform.has_explicit_routes()) {
+    const std::vector<LinkId>* route = platform.explicit_route(src, dst);
+    if (route == nullptr)
+      throw Error("route: no explicit route between '" + a.name + "' and '" +
+                  b.name + "'");
+    return *route;
+  }
+
+  push(a.uplink);
+
+  if (a.junction == b.junction) {
+    // Same switch: traverse its transit link (the cluster backbone).
+    push(platform.junction(a.junction).transit);
+  } else {
+    // Climb both sides to their lowest common ancestor. Collect the uphill
+    // links from each side, plus every transit link of the junctions the
+    // route passes through (including the LCA itself).
+    JunctionId ja = a.junction;
+    JunctionId jb = b.junction;
+    std::vector<LinkId> down;  // collected from b's side; appended reversed
+
+    // Climbing a junction means the route passes through it: traverse its
+    // transit link (the switch crossbar / backbone) and its uplink.
+    const auto up_a = [&](JunctionId& j) {
+      const JunctionDesc& d = platform.junction(j);
+      push(d.transit);
+      push(d.uplink);
+      j = d.parent;
+    };
+    const auto up_b = [&](JunctionId& j) {
+      const JunctionDesc& d = platform.junction(j);
+      if (d.transit != kNone) down.push_back(d.transit);
+      if (d.uplink != kNone) down.push_back(d.uplink);
+      j = d.parent;
+    };
+
+    while (ja != jb) {
+      if (ja == kNone || jb == kNone)
+        throw Error("route: hosts are not connected");
+      const int da = platform.junction(ja).depth;
+      const int db = platform.junction(jb).depth;
+      if (da > db) {
+        up_a(ja);
+      } else if (db > da) {
+        up_b(jb);
+      } else {
+        up_a(ja);
+        up_b(jb);
+      }
+    }
+    // Traverse the LCA's transit link once.
+    push(platform.junction(ja).transit);
+    for (auto it = down.rbegin(); it != down.rend(); ++it) push(*it);
+  }
+
+  push(b.uplink);
+  return out;
+}
+
+}  // namespace tir::plat

@@ -1,0 +1,55 @@
+// Routing providers: the strategy behind Platform::route.
+//
+// A Platform stores *resources* (hosts, links) and delegates the question
+// "which links does a message from host A to host B traverse?" to its
+// RouteProvider. The provider must be deterministic and *oblivious*: the
+// link sequence for a pair may depend only on immutable platform structure
+// (never on load or on wall-clock), because the simulation engine caches
+// routes per (src, dst) pair and fault injection invalidates that cache by
+// link membership only.
+//
+// TreeRouting is the reference implementation: the junction-tree walk the
+// paper's Grid'5000 cluster models use (Figure 5: <uplink, backbone,
+// uplink>), plus SimGrid-style explicit per-pair routes. GraphRouting (see
+// graph_routing.hpp) generalises to arbitrary switch/link graphs and backs
+// the dragonfly / fat-tree / torus topologies of the registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tir::plat {
+
+class Platform;
+using HostId = int;
+using LinkId = int;
+
+class RouteProvider {
+ public:
+  virtual ~RouteProvider() = default;
+
+  /// The ordered links traversed from `src` to `dst` (both valid host ids,
+  /// src != dst — Platform::route handles loopback before delegating).
+  /// Must be deterministic, and must never return the same link twice in
+  /// one route (the max-min solver models each link as one constraint).
+  virtual std::vector<LinkId> links(const Platform& platform, HostId src,
+                                    HostId dst) const = 0;
+
+  /// Short human-readable name ("tree", "dragonfly/minimal", ...).
+  virtual std::string name() const = 0;
+};
+
+/// The junction-tree walk (reference provider; installed by default on
+/// every Platform). Routes climb both endpoints' junctions to their lowest
+/// common ancestor, traversing each junction's transit link (switch
+/// crossbar) and uplink, exactly as the seed Platform::route did. When the
+/// platform holds explicit per-pair routes, those take precedence and a
+/// missing pair is an error.
+class TreeRouting final : public RouteProvider {
+ public:
+  std::vector<LinkId> links(const Platform& platform, HostId src,
+                            HostId dst) const override;
+  std::string name() const override { return "tree"; }
+};
+
+}  // namespace tir::plat

@@ -1,0 +1,91 @@
+// The topology zoo: dragonfly, fat-tree and torus platform builders.
+//
+// Each builder populates a Platform with hosts, NIC links and the fabric's
+// switch/link graph, then installs a GraphRouting provider with the
+// topology's structured routing. The builders follow the models CODES
+// model-net and TraceR replay traces on (Kim-et-al dragonfly, k-ary
+// fat-tree with D-mod-k, k-ary n-cube torus with dimension-order routing),
+// ported onto our max-min fluid link model: every switch-to-switch cable is
+// one contended Platform link, every host reaches its switch through a NIC
+// link, and routing is static/oblivious so the engine's per-pair route
+// cache stays valid.
+//
+// Prefer the registry (topology.hpp) and its spec strings —
+// "dragonfly:groups=9,routers=4,hosts=2" — over calling builders directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace tir::plat {
+
+/// Kim et al. dragonfly: `groups` groups of `routers` routers each; routers
+/// of one group form a complete local graph; each router owns `globals`
+/// global-link slots and each unordered group pair is joined by exactly one
+/// global link (requires routers*globals >= groups-1); `hosts` hosts hang
+/// off every router. Routing "minimal" takes <local, global, local>;
+/// "valiant" detours through a deterministic (src,dst)-hashed intermediate
+/// group for load balancing — at most 5 switch-to-switch hops.
+struct DragonflySpec {
+  int groups = 9;
+  int routers = 4;  ///< per group
+  int hosts = 2;    ///< per router
+  int globals = 2;  ///< global-link slots per router
+  std::string routing = "minimal";  ///< minimal | valiant
+  double power = 1.17e9;            ///< flop/s per host
+  double bandwidth = 1.25e8;        ///< host NIC, bytes/s
+  double latency = 1e-6;            ///< host NIC, seconds
+  double local_bandwidth = 1.25e9;  ///< intra-group router links
+  double local_latency = 1e-6;
+  double global_bandwidth = 1.25e9; ///< inter-group links
+  double global_latency = 5e-6;
+  double loopback_bandwidth = 6e9;
+  double loopback_latency = 1e-7;
+  std::string prefix = "dfly-";
+};
+
+std::vector<HostId> build_dragonfly(Platform& platform,
+                                    const DragonflySpec& spec);
+
+/// Three-level k-ary fat-tree (k even): k pods of k/2 edge + k/2
+/// aggregation switches, (k/2)^2 cores, k^3/4 hosts. Routing "dmodk" is
+/// the deterministic destination-mod-k up-path selection (up-down, no
+/// loops); "shortest" uses the BFS next-hop tables instead.
+struct FatTreeSpec {
+  int k = 4;                       ///< switch radix; hosts = k^3/4
+  std::string routing = "dmodk";   ///< dmodk | shortest
+  double power = 1.17e9;           ///< flop/s per host
+  double bandwidth = 1.25e8;       ///< host NIC, bytes/s
+  double latency = 1e-6;           ///< host NIC, seconds
+  double link_bandwidth = 1.25e9;  ///< switch-to-switch links
+  double link_latency = 1e-6;
+  double loopback_bandwidth = 6e9;
+  double loopback_latency = 1e-7;
+  std::string prefix = "ft-";
+};
+
+std::vector<HostId> build_fattree(Platform& platform, const FatTreeSpec& spec);
+
+/// k-ary n-cube torus: one switch per coordinate of `dims` (e.g. {4,4,4}),
+/// rings along every dimension, `hosts` hosts per switch. Routing "dor" is
+/// dimension-order (resolve dimension 0 first, shortest way around each
+/// ring, ties towards +); "shortest" uses the BFS next-hop tables.
+struct TorusSpec {
+  std::vector<int> dims = {4, 4, 4};
+  int hosts = 1;                   ///< per switch
+  std::string routing = "dor";     ///< dor | shortest
+  double power = 1.17e9;           ///< flop/s per host
+  double bandwidth = 1.25e8;       ///< host NIC, bytes/s
+  double latency = 1e-6;           ///< host NIC, seconds
+  double link_bandwidth = 1.25e9;  ///< torus cables
+  double link_latency = 1e-6;
+  double loopback_bandwidth = 6e9;
+  double loopback_latency = 1e-7;
+  std::string prefix = "torus-";
+};
+
+std::vector<HostId> build_torus(Platform& platform, const TorusSpec& spec);
+
+}  // namespace tir::plat

@@ -1,0 +1,189 @@
+#include <cstdint>
+#include <memory>
+
+#include "platform/graph_routing.hpp"
+#include "platform/topo.hpp"
+#include "support/error.hpp"
+
+namespace tir::plat {
+
+namespace {
+
+class DragonflyRouting final : public GraphRouting {
+ public:
+  DragonflyRouting(std::string name, int groups, int routers, int globals,
+                   bool valiant)
+      : GraphRouting(std::move(name)),
+        groups_(groups),
+        routers_(routers),
+        globals_(globals),
+        valiant_(valiant),
+        gateway_(static_cast<std::size_t>(groups) *
+                     static_cast<std::size_t>(groups),
+                 -1) {}
+
+  void set_gateway(int from_group, int to_group, int router) {
+    gateway_[static_cast<std::size_t>(from_group) *
+                 static_cast<std::size_t>(groups_) +
+             static_cast<std::size_t>(to_group)] = router;
+  }
+
+ protected:
+  void switch_route(int src_sw, int dst_sw, HostId src, HostId dst,
+                    std::vector<LinkId>& out) const override {
+    const int gs = src_sw / routers_;
+    const int gd = dst_sw / routers_;
+    if (gs == gd) {
+      if (src_sw != dst_sw) out.push_back(edge_link(src_sw, dst_sw));
+      return;
+    }
+    if (valiant_ && groups_ > 3) {
+      const int gi = intermediate_group(src, dst, gs, gd);
+      if (gi >= 0) {
+        int at = src_sw;
+        append_group_hop(at, gs, gi, out);
+        append_group_hop(at, gi, gd, out);
+        if (at != dst_sw) out.push_back(edge_link(at, dst_sw));
+        return;
+      }
+    }
+    int at = src_sw;
+    append_group_hop(at, gs, gd, out);
+    if (at != dst_sw) out.push_back(edge_link(at, dst_sw));
+  }
+
+ private:
+  int switch_id(int group, int router) const {
+    return group * routers_ + router;
+  }
+
+  int gateway(int from_group, int to_group) const {
+    return gateway_[static_cast<std::size_t>(from_group) *
+                        static_cast<std::size_t>(groups_) +
+                    static_cast<std::size_t>(to_group)];
+  }
+
+  /// Moves `at` (a router in `from_group`) into `to_group` through the one
+  /// global link joining the pair: a local hop to the gateway when needed,
+  /// then the global hop; lands on the destination-side gateway.
+  void append_group_hop(int& at, int from_group, int to_group,
+                        std::vector<LinkId>& out) const {
+    const int exit = switch_id(from_group, gateway(from_group, to_group));
+    const int entry = switch_id(to_group, gateway(to_group, from_group));
+    if (at != exit) out.push_back(edge_link(at, exit));
+    out.push_back(edge_link(exit, entry));
+    at = entry;
+  }
+
+  /// Deterministic Valiant intermediate: a (src, dst)-keyed hash over the
+  /// groups other than src's and dst's, so the detour is reproducible
+  /// across runs and sweep workers. Returns -1 when no candidate exists.
+  int intermediate_group(HostId src, HostId dst, int gs, int gd) const {
+    const int candidates = groups_ - 2;
+    if (candidates <= 0) return -1;
+    std::uint64_t mix = static_cast<std::uint64_t>(src) * 0x9E3779B97F4A7C15ull +
+                        static_cast<std::uint64_t>(dst) * 0xBF58476D1CE4E5B9ull +
+                        0x94D049BB133111EBull;
+    mix ^= mix >> 31;
+    int idx = static_cast<int>(mix % static_cast<std::uint64_t>(candidates));
+    for (int g = 0; g < groups_; ++g) {
+      if (g == gs || g == gd) continue;
+      if (idx-- == 0) return g;
+    }
+    return -1;
+  }
+
+  int groups_;
+  int routers_;
+  int globals_;
+  bool valiant_;
+  std::vector<int> gateway_;
+};
+
+}  // namespace
+
+std::vector<HostId> build_dragonfly(Platform& platform,
+                                    const DragonflySpec& spec) {
+  if (spec.groups < 1 || spec.routers < 1 || spec.hosts < 1 ||
+      spec.globals < 1)
+    throw Error("dragonfly: groups, routers, hosts and globals must be >= 1");
+  if (spec.groups > 1 &&
+      static_cast<long long>(spec.routers) * spec.globals < spec.groups - 1)
+    throw Error("dragonfly: need routers*globals >= groups-1 global-link "
+                "slots to join every group pair (" +
+                std::to_string(spec.routers) + "*" +
+                std::to_string(spec.globals) + " < " +
+                std::to_string(spec.groups - 1) + ")");
+  bool valiant = false;
+  if (spec.routing == "valiant")
+    valiant = true;
+  else if (spec.routing != "minimal")
+    throw Error("dragonfly: routing must be minimal or valiant, got '" +
+                spec.routing + "'");
+
+  auto routing = std::make_shared<DragonflyRouting>(
+      "dragonfly/" + spec.routing, spec.groups, spec.routers, spec.globals,
+      valiant);
+
+  // Hosts need a junction for HostDesc invariants; routing never reads it.
+  const JunctionId fabric = platform.add_junction(spec.prefix + "fabric");
+
+  const auto sw_name = [&](int g, int r) {
+    return spec.prefix + "g" + std::to_string(g) + "r" + std::to_string(r);
+  };
+  for (int g = 0; g < spec.groups; ++g)
+    for (int r = 0; r < spec.routers; ++r) routing->add_switch(sw_name(g, r));
+  const auto sw_id = [&](int g, int r) { return g * spec.routers + r; };
+
+  // Group-local complete graph.
+  for (int g = 0; g < spec.groups; ++g)
+    for (int r1 = 0; r1 < spec.routers; ++r1)
+      for (int r2 = r1 + 1; r2 < spec.routers; ++r2)
+        routing->connect(sw_id(g, r1), sw_id(g, r2),
+                         platform.add_link(sw_name(g, r1) + "-" + sw_name(g, r2),
+                                           spec.local_bandwidth,
+                                           spec.local_latency));
+
+  // One global link per unordered group pair. Group A reaches the groups
+  // (A+1, A+2, ...) through its slots 0, 1, ...; router slot/globals owns
+  // slot `slot`, so consecutive groups spread over consecutive routers.
+  for (int a = 0; a < spec.groups; ++a) {
+    for (int b = a + 1; b < spec.groups; ++b) {
+      const int slot_a = b - a - 1;
+      const int slot_b = spec.groups - (b - a) - 1;
+      const int ra = slot_a / spec.globals;
+      const int rb = slot_b / spec.globals;
+      routing->connect(sw_id(a, ra), sw_id(b, rb),
+                       platform.add_link(sw_name(a, ra) + "-" + sw_name(b, rb),
+                                         spec.global_bandwidth,
+                                         spec.global_latency));
+      routing->set_gateway(a, b, ra);
+      routing->set_gateway(b, a, rb);
+    }
+  }
+
+  std::vector<HostId> hosts;
+  hosts.reserve(static_cast<std::size_t>(spec.groups) *
+                static_cast<std::size_t>(spec.routers) *
+                static_cast<std::size_t>(spec.hosts));
+  for (int g = 0; g < spec.groups; ++g) {
+    for (int r = 0; r < spec.routers; ++r) {
+      for (int h = 0; h < spec.hosts; ++h) {
+        const std::string name = sw_name(g, r) + "h" + std::to_string(h);
+        const LinkId nic =
+            platform.add_link(name + "_nic", spec.bandwidth, spec.latency);
+        const HostId id = platform.add_host(name, spec.power, fabric, nic);
+        platform.set_loopback(id, spec.loopback_bandwidth,
+                              spec.loopback_latency);
+        routing->attach_host(id, sw_id(g, r));
+        hosts.push_back(id);
+      }
+    }
+  }
+
+  routing->finalize();
+  platform.set_route_provider(std::move(routing));
+  return hosts;
+}
+
+}  // namespace tir::plat

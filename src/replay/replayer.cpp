@@ -1,6 +1,6 @@
 #include "replay/replayer.hpp"
 
-#include "platform/platform_file.hpp"
+#include "platform/topology.hpp"
 #include "support/error.hpp"
 
 namespace tir::replay {
@@ -25,15 +25,33 @@ ReplayResult replay_files(const std::filesystem::path& platform_xml,
                           const std::filesystem::path& deployment_xml,
                           const std::vector<std::filesystem::path>& traces,
                           ReplayConfig config) {
+  // Both arguments are spec-aware: the platform resolves through the
+  // topology registry ("dragonfly:groups=9,..." or a platform file), the
+  // deployment accepts "block"/"roundrobin" besides a deployment file.
   const auto platform = std::make_shared<const plat::Platform>(
-      plat::load_platform_file(platform_xml.string()));
-  const plat::Deployment deployment =
-      plat::load_deployment_file(deployment_xml.string());
+      plat::load_platform_spec(platform_xml.string()));
   ScenarioSpec spec;
   spec.name = platform_xml.stem().string();
   spec.platform = platform;
-  spec.process_hosts = deployment.resolve(*platform);
-  spec.traces = trace::TraceSet::per_process_files(traces);
+  spec.platform_label = platform_xml.string();
+  // A directory stands for its SG_process<i>.trace files in pid order —
+  // unlike a shell glob, which sorts SG_process10 before SG_process2 and
+  // scrambles the positional pid mapping.
+  std::vector<std::filesystem::path> files;
+  for (const auto& path : traces) {
+    if (std::filesystem::is_directory(path)) {
+      for (int pid = 0;; ++pid) {
+        const auto f = path / ("SG_process" + std::to_string(pid) + ".trace");
+        if (!std::filesystem::exists(f)) break;
+        files.push_back(f);
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  spec.traces = trace::TraceSet::per_process_files(files);
+  spec.process_hosts = plat::resolve_deployment_spec(
+      deployment_xml.string(), *platform, spec.traces.nprocs());
   spec.config = config;
   return run_scenario(spec);
 }

@@ -91,6 +91,11 @@ struct ScenarioSpec {
   /// Label carried through sweep results and CLI tables.
   std::string name;
 
+  /// Where the platform came from — a file path or a topology spec string
+  /// ("dragonfly:groups=9,..."). Purely informational: sweep results and
+  /// CLI tables print it so cross-topology rows stay attributable.
+  std::string platform_label;
+
   /// Target platform, shared across scenarios. Use share_platform() to wrap
   /// a stack-owned Platform the caller keeps alive.
   std::shared_ptr<const plat::Platform> platform;

@@ -26,6 +26,7 @@ namespace {
 
 void run_one(const ScenarioSpec& spec, SweepResult& slot) {
   slot.name = spec.name;
+  slot.platform = spec.platform_label;
   try {
     ReplayReport report = run_scenario_report(spec);
     slot.status = report.status;

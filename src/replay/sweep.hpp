@@ -34,6 +34,7 @@ struct SweepOptions {
 /// result records what went wrong (status, error, per-rank diagnostics).
 struct SweepResult {
   std::string name;        ///< copied from the spec
+  std::string platform;    ///< spec.platform_label (file path or topo spec)
   bool ok = false;         ///< status == ReplayStatus::ok
   ReplayStatus status = ReplayStatus::failed;
   double coverage = 0.0;   ///< fraction of trace actions replayed

@@ -1,0 +1,337 @@
+// Route property tests for the topology zoo (topo.hpp): per-topology hop
+// bounds against the analytic formulas, symmetry, and the no-duplicate-link
+// invariant the max-min solver depends on (each link is one constraint; a
+// route listing a link twice would double-count it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "platform/graph_routing.hpp"
+#include "platform/platform.hpp"
+#include "platform/topo.hpp"
+#include "support/error.hpp"
+
+using namespace tir::plat;
+
+namespace {
+
+/// Asserts every (src, dst) route exists and repeats no link.
+void expect_no_duplicate_links(const Platform& p,
+                               const std::vector<HostId>& hosts) {
+  for (const HostId a : hosts) {
+    for (const HostId b : hosts) {
+      if (a == b) continue;
+      const Route r = p.route(a, b);
+      const std::set<LinkId> unique(r.links.begin(), r.links.end());
+      EXPECT_EQ(unique.size(), r.links.size())
+          << p.host(a).name << " -> " << p.host(b).name;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+
+TEST(TopologyDragonfly, MinimalRoutesStayWithinThreeSwitchHops) {
+  Platform p;
+  DragonflySpec spec;
+  spec.groups = 5;
+  spec.routers = 2;
+  spec.globals = 2;
+  spec.hosts = 1;
+  const auto hosts = build_dragonfly(p, spec);
+  ASSERT_EQ(hosts.size(), 10u);
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (a == b) continue;
+      // <= local, global, local between switches, plus the two NICs.
+      EXPECT_LE(p.route(a, b).links.size(), 5u);
+      EXPECT_GE(p.route(a, b).links.size(), 2u);
+    }
+  expect_no_duplicate_links(p, hosts);
+}
+
+TEST(TopologyDragonfly, MinimalRoutingIsSymmetric) {
+  Platform p;
+  DragonflySpec spec;
+  spec.groups = 5;
+  spec.routers = 2;
+  spec.globals = 2;
+  spec.hosts = 1;
+  const auto hosts = build_dragonfly(p, spec);
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (a >= b) continue;
+      Route ab = p.route(a, b);
+      Route ba = p.route(b, a);
+      // Minimal routes cross the pair's unique global link through the same
+      // two gateways either way: identical link sets. The latency sum runs
+      // over the links in opposite order, so compare as doubles, not bits.
+      std::sort(ab.links.begin(), ab.links.end());
+      std::sort(ba.links.begin(), ba.links.end());
+      EXPECT_EQ(ab.links, ba.links);
+      EXPECT_DOUBLE_EQ(ab.latency, ba.latency);
+    }
+}
+
+TEST(TopologyDragonfly, ValiantRoutesStayWithinFiveSwitchHops) {
+  Platform p;
+  DragonflySpec spec;
+  spec.groups = 6;
+  spec.routers = 3;
+  spec.globals = 2;
+  spec.hosts = 1;
+  spec.routing = "valiant";
+  const auto hosts = build_dragonfly(p, spec);
+  ASSERT_EQ(hosts.size(), 18u);
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (a == b) continue;
+      // <= local,global,local,global,local plus the two NICs.
+      EXPECT_LE(p.route(a, b).links.size(), 7u);
+    }
+  expect_no_duplicate_links(p, hosts);
+}
+
+TEST(TopologyDragonfly, ValiantDetoursThroughAnIntermediateGroup) {
+  Platform minimal_p, valiant_p;
+  DragonflySpec spec;
+  spec.groups = 6;
+  spec.routers = 3;
+  spec.globals = 2;
+  spec.hosts = 1;
+  const auto hosts = build_dragonfly(minimal_p, spec);
+  spec.routing = "valiant";
+  build_dragonfly(valiant_p, spec);
+
+  // Valiant's defining property is in *global* hops, not total links (a
+  // detour whose gateways line up can even use fewer locals than minimal):
+  // cross-group routes cross exactly two global links instead of one.
+  const auto global_hops = [&](const Platform& p, HostId a, HostId b) {
+    std::size_t n = 0;
+    for (const LinkId l : p.route(a, b).links)
+      if (p.link(l).latency == spec.global_latency) ++n;
+    return n;
+  };
+  const auto group_of = [&](HostId h) { return h / spec.routers; };
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (group_of(a) == group_of(b)) continue;
+      EXPECT_EQ(global_hops(minimal_p, a, b), 1u);
+      EXPECT_EQ(global_hops(valiant_p, a, b), 2u);
+    }
+}
+
+TEST(TopologyDragonfly, GlobalLinkCountMatchesTheFormula) {
+  Platform p;
+  DragonflySpec spec;
+  spec.groups = 9;
+  spec.routers = 4;
+  spec.globals = 2;
+  spec.hosts = 2;
+  const auto hosts = build_dragonfly(p, spec);
+  ASSERT_EQ(hosts.size(), 72u);
+  // locals: groups * C(routers, 2); globals: C(groups, 2); per host one NIC
+  // and one loopback.
+  const std::size_t locals = 9u * (4u * 3u / 2u);
+  const std::size_t globals = 9u * 8u / 2u;
+  EXPECT_EQ(p.link_count(), locals + globals + 2u * hosts.size());
+}
+
+TEST(TopologyDragonfly, RejectsUnderProvisionedGlobalSlots) {
+  Platform p;
+  DragonflySpec spec;
+  spec.groups = 9;
+  spec.routers = 2;
+  spec.globals = 2;  // 2*2 < 8 pairs to reach
+  EXPECT_THROW(build_dragonfly(p, spec), tir::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fat-tree
+
+TEST(TopologyFatTree, HopCountsMatchTheThreeTiers) {
+  Platform p;
+  FatTreeSpec spec;
+  spec.k = 4;
+  const auto hosts = build_fattree(p, spec);
+  ASSERT_EQ(hosts.size(), 16u);  // k^3/4
+  const int m = spec.k / 2;
+  const auto pod_of = [&](HostId h) { return h / (m * m); };
+  const auto edge_of = [&](HostId h) { return h / m; };
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (a == b) continue;
+      const std::size_t n = p.route(a, b).links.size();
+      if (edge_of(a) == edge_of(b))
+        EXPECT_EQ(n, 2u);  // NIC, same edge switch, NIC
+      else if (pod_of(a) == pod_of(b))
+        EXPECT_EQ(n, 4u);  // up to an aggregation and back down
+      else
+        EXPECT_EQ(n, 6u);  // up to a core and back down
+    }
+  expect_no_duplicate_links(p, hosts);
+}
+
+TEST(TopologyFatTree, DmodkPathsAreMinimal) {
+  FatTreeSpec spec;
+  spec.k = 4;
+  Platform dmodk_p;
+  const auto hosts = build_fattree(dmodk_p, spec);
+  spec.routing = "shortest";
+  Platform bfs_p;
+  build_fattree(bfs_p, spec);
+  // D-mod-k picks *which* aggregation/core to cross, never a longer path:
+  // hop counts must equal the BFS shortest ones everywhere.
+  for (const HostId a : hosts)
+    for (const HostId b : hosts)
+      EXPECT_EQ(dmodk_p.route(a, b).links.size(),
+                bfs_p.route(a, b).links.size());
+}
+
+TEST(TopologyFatTree, DmodkFunnelsADestinationThroughOneCore) {
+  Platform p;
+  FatTreeSpec spec;
+  spec.k = 4;
+  const auto hosts = build_fattree(p, spec);
+  // Every cross-pod source reaches host 13 over the same two core links
+  // (positions 2 and 3 of the 6-link route) — the D-mod-k property.
+  const HostId dst = hosts[13];
+  std::set<LinkId> down_links;  // core -> destination-pod aggregation
+  for (const HostId src : hosts) {
+    if (src / 4 == dst / 4) continue;  // same pod
+    const Route r = p.route(src, dst);
+    ASSERT_EQ(r.links.size(), 6u);
+    down_links.insert(r.links[3]);
+  }
+  EXPECT_EQ(down_links.size(), 1u);
+}
+
+TEST(TopologyFatTree, RejectsOddRadix) {
+  Platform p;
+  FatTreeSpec spec;
+  spec.k = 3;
+  EXPECT_THROW(build_fattree(p, spec), tir::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Torus
+
+TEST(TopologyTorus, DorHopCountMatchesTheRingDistanceSum) {
+  Platform p;
+  TorusSpec spec;
+  spec.dims = {3, 4, 2};
+  const auto hosts = build_torus(p, spec);
+  ASSERT_EQ(hosts.size(), 24u);
+  const auto coord = [&](HostId h, int stride, int size) {
+    return (h / stride) % size;
+  };
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      if (a == b) continue;
+      std::size_t expect = 2;  // the two NICs
+      int stride = 1;
+      for (const int size : spec.dims) {
+        const int d = std::abs(coord(a, stride, size) - coord(b, stride, size));
+        expect += static_cast<std::size_t>(std::min(d, size - d));
+        stride *= size;
+      }
+      EXPECT_EQ(p.route(a, b).links.size(), expect)
+          << p.host(a).name << " -> " << p.host(b).name;
+    }
+  expect_no_duplicate_links(p, hosts);
+}
+
+TEST(TopologyTorus, DorIsHopSymmetricAndMinimal) {
+  TorusSpec spec;
+  spec.dims = {4, 3};
+  Platform dor_p;
+  const auto hosts = build_torus(dor_p, spec);
+  spec.routing = "shortest";
+  Platform bfs_p;
+  build_torus(bfs_p, spec);
+  for (const HostId a : hosts)
+    for (const HostId b : hosts) {
+      EXPECT_EQ(dor_p.route(a, b).links.size(),
+                dor_p.route(b, a).links.size());
+      EXPECT_EQ(dor_p.route(a, b).links.size(),
+                bfs_p.route(a, b).links.size());
+    }
+}
+
+TEST(TopologyTorus, SizeTwoRingHasOneCable) {
+  Platform p;
+  TorusSpec spec;
+  spec.dims = {2};
+  const auto hosts = build_torus(p, spec);
+  ASSERT_EQ(hosts.size(), 2u);
+  // One cable between the two switches + 2 NICs + 2 loopbacks.
+  EXPECT_EQ(p.link_count(), 5u);
+  EXPECT_EQ(p.route(hosts[0], hosts[1]).links.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphRouting construction invariants
+
+TEST(GraphRoutingInvariants, RejectsDuplicateEdgesAndSelfLoops) {
+  Platform p;
+  GraphRouting g("test");
+  const int a = g.add_switch("a");
+  const int b = g.add_switch("b");
+  const LinkId l = p.add_link("ab", 1e9, 1e-6);
+  g.connect(a, b, l);
+  EXPECT_THROW(g.connect(a, b, l), tir::Error);
+  EXPECT_THROW(g.connect(b, a, l), tir::Error);
+  EXPECT_THROW(g.connect(a, a, l), tir::Error);
+}
+
+TEST(GraphRoutingInvariants, RoutingBeforeFinalizeThrows) {
+  Platform p;
+  const JunctionId j = p.add_junction("fabric");
+  auto g = std::make_shared<GraphRouting>("test");
+  const int sw = g->add_switch("sw");
+  const LinkId nic = p.add_link("h0_nic", 1e9, 1e-6);
+  const HostId h0 = p.add_host("h0", 1e9, j, nic);
+  const LinkId nic1 = p.add_link("h1_nic", 1e9, 1e-6);
+  const HostId h1 = p.add_host("h1", 1e9, j, nic1);
+  g->attach_host(h0, sw);
+  g->attach_host(h1, sw);
+  EXPECT_THROW(g->links(p, h0, h1), tir::Error);
+  g->finalize();
+  EXPECT_EQ(g->links(p, h0, h1).size(), 2u);  // the two NICs
+  EXPECT_THROW(g->finalize(), tir::Error);
+}
+
+TEST(GraphRoutingInvariants, UnattachedHostThrows) {
+  Platform p;
+  const JunctionId j = p.add_junction("fabric");
+  auto g = std::make_shared<GraphRouting>("test");
+  const int sw = g->add_switch("sw");
+  const LinkId nic0 = p.add_link("h0_nic", 1e9, 1e-6);
+  const HostId h0 = p.add_host("h0", 1e9, j, nic0);
+  const LinkId nic1 = p.add_link("h1_nic", 1e9, 1e-6);
+  const HostId h1 = p.add_host("h1", 1e9, j, nic1);
+  g->attach_host(h0, sw);  // h1 left unplaced
+  g->finalize();
+  p.set_route_provider(g);
+  EXPECT_THROW(p.route(h0, h1), tir::Error);
+}
+
+TEST(GraphRoutingInvariants, DisconnectedSwitchesThrow) {
+  Platform p;
+  const JunctionId j = p.add_junction("fabric");
+  auto g = std::make_shared<GraphRouting>("test");
+  const int s0 = g->add_switch("s0");
+  const int s1 = g->add_switch("s1");  // never connected
+  const LinkId nic0 = p.add_link("h0_nic", 1e9, 1e-6);
+  const HostId h0 = p.add_host("h0", 1e9, j, nic0);
+  const LinkId nic1 = p.add_link("h1_nic", 1e9, 1e-6);
+  const HostId h1 = p.add_host("h1", 1e9, j, nic1);
+  g->attach_host(h0, s0);
+  g->attach_host(h1, s1);
+  g->finalize();
+  EXPECT_THROW(g->links(p, h0, h1), tir::Error);
+}

@@ -4,6 +4,11 @@
 //   tir-replay --platform platform.xml --deployment deployment.xml ...
 //              trace0 trace1 ... [options]
 //
+// --platform also accepts a topology-registry spec instead of a file, e.g.
+// "dragonfly:groups=9,routers=4,hosts=2" or "fattree:k=8" (see
+// src/platform/topology.hpp); --deployment accepts "block" / "roundrobin"
+// to derive the process->host mapping instead of reading a file.
+//
 // Options:
 //   --eager-threshold BYTES   eager/rendezvous switch (default 64KiB)
 //   --collectives flat|binomial
@@ -29,7 +34,8 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --platform FILE --deployment FILE TRACE... \n"
+               "usage: %s --platform FILE|TOPOSPEC "
+               "--deployment FILE|block|roundrobin TRACE...|TRACEDIR \n"
                "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
                "  [--timed-trace FILE] [--profile] [--efficiency X]\n"
                "  [--stats] [--full-solve]\n",

@@ -15,9 +15,16 @@
 //
 // Keys:
 //   name=LABEL             row label (default scenario-<index>)
-//   platform=FILE          platform XML (required)
-//   deployment=FILE        deployment XML (required unless merged= given a
-//                          hosts= mapping is derived from the deployment)
+//   platform=FILE|SPEC     platform XML, or a topology-registry spec such
+//                          as dragonfly:groups=9,routers=4,hosts=2 —
+//                          symmetric with fault=: one sweep list can walk
+//                          cluster/dragonfly/fattree/torus in one run
+//                          (required; the spec is echoed in a `platform`
+//                          result column)
+//   deployment=FILE|block|roundrobin
+//                          deployment XML, or a derived mapping: block
+//                          fills hosts contiguously, roundrobin stripes
+//                          process i onto host i % host_count (required)
 //   traces=A,B,...         per-process trace files in pid order; a single
 //                          directory means its SG_process<i>.trace files
 //   merged=FILE:N          one merged trace file carrying N processes
@@ -44,6 +51,7 @@
 #include "obs/report.hpp"
 #include "platform/deployment.hpp"
 #include "platform/platform_file.hpp"
+#include "platform/topology.hpp"
 #include "replay/sweep.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -106,14 +114,20 @@ struct InputCache {
     return p.is_absolute() ? p : base / p;
   }
 
-  std::shared_ptr<const plat::Platform> platform(const std::string& file) {
-    auto it = platforms.find(file);
-    if (it == platforms.end())
+  std::shared_ptr<const plat::Platform> platform(const std::string& spec) {
+    auto it = platforms.find(spec);
+    if (it == platforms.end()) {
+      // Topology specs build through the registry; anything else is a file
+      // path and resolves against the list-file directory.
+      const std::string head{str::trim(spec.substr(0, spec.find(':')))};
+      auto built = plat::is_topology(head)
+                       ? plat::make_platform(spec)
+                       : plat::load_platform_file(resolve(spec).string());
       it = platforms
-               .emplace(file, std::make_shared<const plat::Platform>(
-                                  plat::load_platform_file(
-                                      resolve(file).string())))
+               .emplace(spec, std::make_shared<const plat::Platform>(
+                                  std::move(built)))
                .first;
+    }
     return it->second;
   }
 
@@ -226,6 +240,7 @@ replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
   if (platform == nullptr)
     throw Error("scenario '" + spec.name + "': missing platform=");
   spec.platform = cache.platform(*platform);
+  spec.platform_label = *platform;
 
   if (const auto* merged = kv.find("merged")) {
     spec.traces = cache.traces(*merged, /*merged=*/true);
@@ -238,8 +253,13 @@ replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
   const auto* deployment = kv.find("deployment");
   if (deployment == nullptr)
     throw Error("scenario '" + spec.name + "': missing deployment=");
-  spec.process_hosts =
-      cache.deployment(*deployment).resolve(*spec.platform);
+  if (*deployment == "block" || *deployment == "roundrobin" ||
+      *deployment == "rr")
+    spec.process_hosts = plat::resolve_deployment_spec(
+        *deployment, *spec.platform, spec.traces.nprocs());
+  else
+    spec.process_hosts =
+        cache.deployment(*deployment).resolve(*spec.platform);
 
   if (const auto* eager = kv.find("eager"))
     spec.config.mpi.eager_threshold = units::parse_bytes(*eager);
@@ -395,12 +415,13 @@ int main(int argc, char** argv) {
 
     std::ostringstream os;
     if (format == "csv") {
-      os << "name,status,processes,actions_replayed,simulated_time,coverage,"
-            "error";
+      os << "name,platform,status,processes,actions_replayed,simulated_time,"
+            "coverage,error";
       if (want_obs) os << ",avg_compute,avg_p2p,avg_wait,avg_collective";
       os << '\n';
       for (const auto& r : results) {
-        os << r.name << ',' << replay::to_string(r.status) << ','
+        os << r.name << ',' << csv_cell(r.platform) << ','
+           << replay::to_string(r.status) << ','
            << r.replay.process_finish_times.size() << ','
            << r.replay.actions_replayed << ',';
         char buf[32];
@@ -428,7 +449,8 @@ int main(int argc, char** argv) {
         const auto& r = results[i];
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.6f", r.coverage);
-        os << "  {\"name\": \"" << json_escape(r.name) << "\", \"ok\": "
+        os << "  {\"name\": \"" << json_escape(r.name) << "\", \"platform\": \""
+           << json_escape(r.platform) << "\", \"ok\": "
            << (r.ok ? "true" : "false") << ", \"status\": \""
            << replay::to_string(r.status) << "\", \"coverage\": " << buf;
         if (r.ok) {

@@ -10,6 +10,10 @@
 //   tir-timeline --platform platform.xml --deployment deployment.xml
 //                trace0 trace1 ... [options]
 //
+// --platform also accepts a topology-registry spec ("torus:dims=4x4x4") and
+// --deployment the derived mappings "block" / "roundrobin", exactly like
+// tir-replay — handy for comparing critical paths across topologies.
+//
 // Options:
 //   --chrome FILE             write a Chrome trace-event JSON file
 //   --paje FILE               write a Paje trace file
@@ -36,7 +40,8 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --platform FILE --deployment FILE TRACE... \n"
+               "usage: %s --platform FILE|TOPOSPEC "
+               "--deployment FILE|block|roundrobin TRACE...|TRACEDIR \n"
                "  [--chrome FILE] [--paje FILE] [--detail] [--path-rows N]\n"
                "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
                "  [--efficiency X]\n",
