@@ -125,12 +125,29 @@ TimelineReport analyze(const Recorder& recorder) {
       }
     }
     std::reverse(report.critical_path.begin(), report.critical_path.end());
-    for (const CritSegment& seg : report.critical_path)
+    report.path_rank_seconds.assign(static_cast<std::size_t>(n), 0.0);
+    for (const CritSegment& seg : report.critical_path) {
       account(&report.path_compute, &report.path_p2p, &report.path_wait,
               &report.path_collective, seg.kind, seg.end - seg.start);
+      if (seg.rank >= 0 && seg.rank < n)
+        report.path_rank_seconds[static_cast<std::size_t>(seg.rank)] +=
+            seg.end - seg.start;
+    }
   }
 
   return report;
+}
+
+int TimelineReport::hot_rank() const {
+  int best = -1;
+  double best_seconds = 0.0;
+  for (std::size_t r = 0; r < path_rank_seconds.size(); ++r) {
+    if (path_rank_seconds[r] > best_seconds) {
+      best_seconds = path_rank_seconds[r];
+      best = static_cast<int>(r);
+    }
+  }
+  return best;
 }
 
 std::string TimelineReport::render(std::size_t max_path_rows) const {

@@ -52,6 +52,15 @@ struct TimelineReport {
   double path_wait = 0.0;
   double path_collective = 0.0;
 
+  /// Critical-path seconds attributed to each rank (indexed like `ranks`;
+  /// entries sum to the path total). The rank carrying the most path time
+  /// is the one whose host bounds the makespan — the Monte-Carlo
+  /// sensitivity sweep cross-checks its ranking against this.
+  std::vector<double> path_rank_seconds;
+
+  /// Rank with the largest path_rank_seconds (-1 when there is no path).
+  int hot_rank() const;
+
   /// Human-readable tables (per-rank totals + the critical path).
   std::string render(std::size_t max_path_rows = 20) const;
 };

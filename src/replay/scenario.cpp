@@ -30,6 +30,9 @@ namespace {
 struct ResolvedFault {
   FaultSpec::Kind kind;
   double at_time;
+  double until_time;
+  int repeat;
+  double period;
   int id;
   double compute_factor;
   double bandwidth_factor;
@@ -37,6 +40,13 @@ struct ResolvedFault {
 };
 
 std::vector<ResolvedFault> resolve_faults(const ScenarioSpec& spec) {
+  // Error prefix: attribute the failure to the scenario when it is named
+  // (sweeps report which list row is broken) and to the fault's target.
+  const auto fail = [&spec](const std::string& message) -> SimError {
+    const std::string where =
+        spec.name.empty() ? "fault" : "scenario '" + spec.name + "': fault";
+    return SimError(where + ": " + message);
+  };
   std::vector<ResolvedFault> out;
   out.reserve(spec.faults.size());
   const plat::Platform& platform = *spec.platform;
@@ -44,41 +54,83 @@ std::vector<ResolvedFault> resolve_faults(const ScenarioSpec& spec) {
     ResolvedFault r;
     r.kind = f.kind;
     r.at_time = f.at_time;
+    r.until_time = f.until_time;
+    r.repeat = f.repeat;
+    r.period = f.period;
     r.compute_factor = f.compute_factor;
     r.bandwidth_factor = f.bandwidth_factor;
     r.latency_factor = f.latency_factor;
     if (f.at_time < 0)
-      throw SimError("fault: activation time must be non-negative");
+      throw fail("activation time must be non-negative");
     if (f.compute_factor <= 0 || f.bandwidth_factor <= 0 ||
         f.latency_factor < 0)
-      throw SimError("fault: factors must be positive "
-                     "(latency factor non-negative)");
+      throw fail("factors must be positive (latency factor non-negative)");
+    if (f.repeat < 1) throw fail("repeat must be >= 1");
+    if (f.repeat > 1) {
+      if (!f.has_recovery())
+        throw fail("a flap train (repeat > 1) needs a recovery "
+                   "(until_time > at_time)");
+      if (f.period < f.until_time - f.at_time)
+        throw fail("flap period must cover the outage "
+                   "(period >= until_time - at_time)");
+    }
     if (f.kind == FaultSpec::Kind::host) {
       if (f.target.empty()) {
         r.id = f.id;
       } else {
         const auto host = platform.find_host(f.target);
-        if (!host) throw SimError("fault: unknown host '" + f.target + "'");
+        if (!host) throw fail("unknown host '" + f.target + "'");
         r.id = *host;
       }
       if (r.id < 0 || static_cast<std::size_t>(r.id) >= platform.host_count())
-        throw SimError("fault: unknown host " +
-                       (f.target.empty() ? std::to_string(f.id) : f.target));
+        throw fail("unknown host " +
+                   (f.target.empty() ? std::to_string(f.id) : f.target));
     } else {
       if (f.target.empty()) {
         r.id = f.id;
       } else {
         const auto link = platform.find_link(f.target);
-        if (!link) throw SimError("fault: unknown link '" + f.target + "'");
+        if (!link) throw fail("unknown link '" + f.target + "'");
         r.id = *link;
       }
       if (r.id < 0 || static_cast<std::size_t>(r.id) >= platform.link_count())
-        throw SimError("fault: unknown link " +
-                       (f.target.empty() ? std::to_string(f.id) : f.target));
+        throw fail("unknown link " +
+                   (f.target.empty() ? std::to_string(f.id) : f.target));
     }
     out.push_back(r);
   }
   return out;
+}
+
+/// The body of one fault injector: degrade at at_time, optionally recover
+/// at until_time, repeating for a flap train. Recovery restores the factor
+/// captured at activation (nominal unless an outer perturbation set one).
+sim::Task fault_injector(sim::Engine& engine, ResolvedFault fault) {
+  double cycle_start = fault.at_time;
+  for (int cycle = 0; cycle < fault.repeat; ++cycle) {
+    if (cycle_start > engine.now())
+      co_await engine.wait_for(cycle_start - engine.now());
+    if (fault.kind == FaultSpec::Kind::host) {
+      const double before = engine.host_factor(fault.id);
+      engine.set_host_factor(fault.id, fault.compute_factor);
+      if (fault.until_time > fault.at_time) {
+        co_await engine.wait_for(cycle_start - fault.at_time +
+                                 fault.until_time - engine.now());
+        engine.set_host_factor(fault.id, before);
+      }
+    } else {
+      const double before_bw = engine.link_bandwidth_factor(fault.id);
+      const double before_lat = engine.link_latency_factor(fault.id);
+      engine.set_link_factors(fault.id, fault.bandwidth_factor,
+                              fault.latency_factor);
+      if (fault.until_time > fault.at_time) {
+        co_await engine.wait_for(cycle_start - fault.at_time +
+                                 fault.until_time - engine.now());
+        engine.set_link_factors(fault.id, before_bw, before_lat);
+      }
+    }
+    cycle_start += fault.period;
+  }
 }
 
 // Body of a replay; writes into `result` as it goes so a caller catching a
@@ -151,19 +203,15 @@ void run_scenario_into(const ScenarioSpec& spec, const ActionRegistry& registry,
     });
   }
 
-  // One injector process per fault: sleep until the activation time, then
-  // degrade the resource. Injectors run on the first replay host but consume
-  // no compute — only a timer.
+  // One injector process per fault: sleep until the activation time, set
+  // the factors, and (for faults with recovery / flap trains) keep cycling
+  // between outage and healing. Injectors run on the first replay host but
+  // consume no compute — only timers.
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const ResolvedFault& fault = faults[i];
     engine.spawn("fault-" + std::to_string(i), spec.process_hosts[0],
                  [fault, &engine](sim::Process&) -> sim::Task {
-                   if (fault.at_time > 0) co_await engine.wait_for(fault.at_time);
-                   if (fault.kind == FaultSpec::Kind::host)
-                     engine.degrade_host(fault.id, fault.compute_factor);
-                   else
-                     engine.degrade_link(fault.id, fault.bandwidth_factor,
-                                         fault.latency_factor);
+                   return fault_injector(engine, fault);
                  });
   }
 
@@ -189,6 +237,11 @@ void run_scenario_into(const ScenarioSpec& spec, const ActionRegistry& registry,
 }
 
 }  // namespace
+
+void validate_faults(const ScenarioSpec& spec) {
+  if (!spec.platform) throw SimError("scenario: no platform");
+  (void)resolve_faults(spec);
+}
 
 ReplayResult run_scenario(const ScenarioSpec& spec) {
   ActionRegistry registry = ActionRegistry::with_defaults();

@@ -65,25 +65,51 @@ struct ReplayResult {
   std::shared_ptr<const obs::Recorder> spans;
 };
 
-/// One injected fault: a host or link degrading at a simulated time. The
-/// "what does LU look like when one gdx link drops to 100 Mb/s" workload —
-/// factors scale the platform's nominal values (1.0 = healthy, 0.1 = a link
-/// at a tenth of its bandwidth), activating when the replay's simulated
-/// clock reaches `at_time`. Activities already running are re-rated;
-/// latency changes apply to transfers started after activation.
+/// One injected fault event: a host or link degrading at a simulated time,
+/// optionally recovering later, optionally repeating (a flap train). The
+/// "what does LU look like when one gdx link drops to 100 Mb/s for thirty
+/// seconds" workload.
+///
+/// Semantics — pinned, and regression-tested by the variability suite:
+///
+///   * Factors are ABSOLUTE RELATIVE TO NOMINAL (1.0 = healthy, 0.1 = a
+///     link at a tenth of its pristine bandwidth). Two fault events on the
+///     same resource never compound: the later event overwrites the
+///     earlier one's factor, so `0.5@0` followed by `0.5@t` is exactly one
+///     `0.5@0` fault, not `0.25` from `t` on.
+///   * Recovery (`until_time`) restores the factor that was in force when
+///     this event activated — nominal in the common case, or the
+///     surrounding perturbation's factor when a transient outage fires on
+///     an already-perturbed resource.
+///   * Activities already running are re-rated on every transition
+///     (degradation and healing alike); latency changes apply to transfers
+///     started after the transition.
 struct FaultSpec {
   enum class Kind { host, link };
   Kind kind = Kind::host;
   double at_time = 0.0;          ///< simulated seconds at which it activates
+
+  /// Simulated time at which the resource recovers (the factor captured at
+  /// activation is re-applied). <= at_time (the default 0) means the
+  /// degradation is permanent.
+  double until_time = 0.0;
+
+  /// Flap train: the degrade/recover cycle fires `repeat` times, cycle i
+  /// starting at `at_time + i * period`. repeat > 1 requires a recovery
+  /// (`until_time > at_time`) and `period >= until_time - at_time`.
+  int repeat = 1;
+  double period = 0.0;
 
   /// Target by platform name (host name or link name); when empty, `id` is
   /// used directly.
   std::string target;
   int id = -1;
 
-  double compute_factor = 1.0;   ///< host faults: power multiplier (> 0)
-  double bandwidth_factor = 1.0; ///< link faults: bandwidth multiplier (> 0)
-  double latency_factor = 1.0;   ///< link faults: latency multiplier (>= 0)
+  double compute_factor = 1.0;   ///< host faults: power factor (> 0)
+  double bandwidth_factor = 1.0; ///< link faults: bandwidth factor (> 0)
+  double latency_factor = 1.0;   ///< link faults: latency factor (>= 0)
+
+  bool has_recovery() const { return until_time > at_time; }
 };
 
 /// The immutable description of one replay run.
@@ -120,6 +146,14 @@ struct ScenarioSpec {
 /// constructor). The caller must keep `platform` alive past the run.
 std::shared_ptr<const plat::Platform> share_platform(
     const plat::Platform& platform);
+
+/// Validates spec.faults against spec.platform without running anything:
+/// unknown host/link targets, non-positive factors, inconsistent
+/// recovery/flap parameters. Throws SimError naming the scenario (when it
+/// has a name) and the offending fault. run_scenario performs the same
+/// checks; tools call this at list-parse time so a typo fails fast with a
+/// line-attributable message instead of mid-sweep inside a worker.
+void validate_faults(const ScenarioSpec& spec);
 
 /// Replays one scenario. Stateless: builds a fresh engine, MPI world and
 /// action registry per call, so concurrent calls over shared specs are

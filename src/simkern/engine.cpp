@@ -36,6 +36,7 @@ Engine::Engine(const plat::Platform& platform, EngineConfig config)
         net_lmm_.add_resource(platform.link(static_cast<int>(l)).bandwidth));
   host_execs_.resize(platform.host_count());
   host_power_factor_.assign(platform.host_count(), 1.0);
+  link_bandwidth_factor_.assign(platform.link_count(), 1.0);
   link_latency_factor_.assign(platform.link_count(), 1.0);
 }
 
@@ -182,10 +183,11 @@ const Engine::CachedRoute& Engine::cached_route(int src_host, int dst_host) {
   return it->second;
 }
 
-void Engine::degrade_host(int host, double factor) {
+void Engine::set_host_factor(int host, double factor) {
   if (host < 0 || static_cast<std::size_t>(host) >= platform_.host_count())
-    throw SimError("degrade_host: unknown host id " + std::to_string(host));
-  if (factor <= 0) throw SimError("degrade_host: factor must be > 0");
+    throw SimError("set_host_factor: unknown host id " + std::to_string(host));
+  if (factor <= 0) throw SimError("set_host_factor: factor must be > 0");
+  if (host_power_factor_[static_cast<std::size_t>(host)] == factor) return;
   host_power_factor_[static_cast<std::size_t>(host)] = factor;
   if (config_.recorder)
     config_.recorder->fault(now_, obs::FaultEvent::Kind::host, host, factor);
@@ -194,17 +196,42 @@ void Engine::degrade_host(int host, double factor) {
   reschedule_host(host);
 }
 
-void Engine::degrade_link(int link, double bandwidth_factor,
-                          double latency_factor) {
+double Engine::host_factor(int host) const {
+  if (host < 0 || static_cast<std::size_t>(host) >= platform_.host_count())
+    throw SimError("host_factor: unknown host id " + std::to_string(host));
+  return host_power_factor_[static_cast<std::size_t>(host)];
+}
+
+double Engine::link_bandwidth_factor(int link) const {
   if (link < 0 || static_cast<std::size_t>(link) >= platform_.link_count())
-    throw SimError("degrade_link: unknown link id " + std::to_string(link));
+    throw SimError("link_bandwidth_factor: unknown link id " +
+                   std::to_string(link));
+  return link_bandwidth_factor_[static_cast<std::size_t>(link)];
+}
+
+double Engine::link_latency_factor(int link) const {
+  if (link < 0 || static_cast<std::size_t>(link) >= platform_.link_count())
+    throw SimError("link_latency_factor: unknown link id " +
+                   std::to_string(link));
+  return link_latency_factor_[static_cast<std::size_t>(link)];
+}
+
+void Engine::set_link_factors(int link, double bandwidth_factor,
+                              double latency_factor) {
+  if (link < 0 || static_cast<std::size_t>(link) >= platform_.link_count())
+    throw SimError("set_link_factors: unknown link id " + std::to_string(link));
   if (bandwidth_factor <= 0)
-    throw SimError("degrade_link: bandwidth factor must be > 0");
+    throw SimError("set_link_factors: bandwidth factor must be > 0");
   if (latency_factor < 0)
-    throw SimError("degrade_link: latency factor must be >= 0");
+    throw SimError("set_link_factors: latency factor must be >= 0");
+  if (link_bandwidth_factor_[static_cast<std::size_t>(link)] ==
+          bandwidth_factor &&
+      link_latency_factor_[static_cast<std::size_t>(link)] == latency_factor)
+    return;
   const ResourceId res = link_res_[static_cast<std::size_t>(link)];
   net_lmm_.set_capacity(res,
                         platform_.link(link).bandwidth * bandwidth_factor);
+  link_bandwidth_factor_[static_cast<std::size_t>(link)] = bandwidth_factor;
   link_latency_factor_[static_cast<std::size_t>(link)] = latency_factor;
   if (config_.recorder)
     config_.recorder->fault(now_, obs::FaultEvent::Kind::link, link,

@@ -149,22 +149,49 @@ class Engine {
   /// Nominal one-way route latency between two hosts (cached).
   double route_latency(int src_host, int dst_host);
 
-  // -- fault injection ------------------------------------------------------
-  // Degradations take effect immediately: running Execs/flows are re-rated,
-  // and activities started afterwards see the degraded platform. They model
-  // a host or link failing *partially* mid-simulation (the "Variability
-  // Matters" workload); factors compose multiplicatively with the platform's
-  // nominal values and may later be restored by passing 1.0.
+  // -- fault injection / perturbation ---------------------------------------
+  // Factor changes take effect immediately: running Execs/flows are re-rated,
+  // and activities started afterwards see the changed platform. They model a
+  // host or link failing *partially* mid-simulation (the "Variability
+  // Matters" workload) and healing again.
+  //
+  // Semantics (pinned; the variability tests regression-test this): every
+  // factor is ABSOLUTE RELATIVE TO THE PLATFORM'S NOMINAL value, tracked by
+  // the engine against the pristine platform. Setting a factor twice does
+  // not compound — the second call overwrites the first — so repeated
+  // degrade events on one resource are idempotent, and restore_host /
+  // restore_link (factor 1.0) always return the resource exactly to its
+  // nominal rate whatever sequence of events preceded them.
 
-  /// Scales `host`'s compute power by `factor` (> 0) from the current
-  /// simulated time onwards.
-  void degrade_host(int host, double factor);
+  /// Sets `host`'s compute power to `factor` (> 0) times nominal from the
+  /// current simulated time onwards. Running Execs are re-rated.
+  void set_host_factor(int host, double factor);
 
-  /// Scales a link's bandwidth by `bandwidth_factor` (> 0) and its latency
-  /// by `latency_factor` (>= 0) from the current simulated time onwards.
-  /// Flowing transfers are re-solved; latency applies to transfers started
-  /// after the call.
-  void degrade_link(int link, double bandwidth_factor, double latency_factor);
+  /// Sets a link's bandwidth to `bandwidth_factor` (> 0) and its latency to
+  /// `latency_factor` (>= 0) times their nominal values from the current
+  /// simulated time onwards. Flowing transfers are re-solved; latency
+  /// applies to transfers started after the call.
+  void set_link_factors(int link, double bandwidth_factor,
+                        double latency_factor);
+
+  /// Returns `host` to its nominal compute power.
+  void restore_host(int host) { set_host_factor(host, 1.0); }
+
+  /// Returns a link to its nominal bandwidth and latency.
+  void restore_link(int link) { set_link_factors(link, 1.0, 1.0); }
+
+  /// Synonyms kept for the fault-injection callers that read better as
+  /// "degrade" — identical set-relative-to-nominal semantics.
+  void degrade_host(int host, double factor) { set_host_factor(host, factor); }
+  void degrade_link(int link, double bandwidth_factor, double latency_factor) {
+    set_link_factors(link, bandwidth_factor, latency_factor);
+  }
+
+  /// Current factors relative to nominal (1.0 = healthy). Used by recovery
+  /// injectors to capture the factor in force before an outage.
+  double host_factor(int host) const;
+  double link_bandwidth_factor(int link) const;
+  double link_latency_factor(int link) const;
 
   GatePtr make_gate();
 
@@ -269,9 +296,11 @@ class Engine {
   // CPU scheduling state; active execs per host, kept alive by the engine.
   std::vector<std::vector<std::shared_ptr<Exec>>> host_execs_;
 
-  // Fault-injection state: multiplicative degradation factors over the
-  // platform's nominal host powers and link latencies (1.0 = healthy).
+  // Fault-injection state: current factors over the platform's nominal host
+  // powers and link bandwidths/latencies (1.0 = healthy). Absolute, not
+  // compounding: set_* overwrites, so nominal is always recoverable.
   std::vector<double> host_power_factor_;
+  std::vector<double> link_bandwidth_factor_;
   std::vector<double> link_latency_factor_;
 
   std::unordered_map<std::uint64_t, CachedRoute> route_cache_;

@@ -20,6 +20,22 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 }
 }  // namespace
 
+namespace {
+// Pure splitmix64 finaliser (the stateless half of splitmix64 above).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Two rounds of the finaliser, seed and stream offset by distinct odd
+  // constants so mix_seed(a, b) != mix_seed(b, a).
+  return mix64(mix64(seed + 0x9e3779b97f4a7c15ULL) ^
+               (stream + 0xd1b54a32d192ed03ULL));
+}
+
 Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(seed);
 }

@@ -9,6 +9,23 @@
 
 namespace tir {
 
+/// Derives an independent stream seed from (seed, stream): a keyed
+/// splitmix64-style mix whose outputs for distinct (seed, stream) pairs are
+/// statistically independent. This is how one user-facing seed fans out
+/// into per-replica, per-host and per-link RNG streams whose draws do not
+/// overlap and do not depend on any iteration order — stream k's draws are
+/// the same whether streams 0..k-1 were ever instantiated.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Nested derivation: mix_seed folded over several stream components,
+/// e.g. stream_seed(seed, replica, kHostStream, host_id).
+inline std::uint64_t stream_seed(std::uint64_t seed) { return seed; }
+template <typename... Rest>
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream,
+                          Rest... rest) {
+  return stream_seed(mix_seed(seed, stream), rest...);
+}
+
 /// xoshiro256** by Blackman & Vigna; small, fast, and good enough for
 /// simulation noise. Not cryptographic.
 class Rng {

@@ -1,0 +1,154 @@
+// PerturbSpec expansion: deterministic given (spec, platform, seed,
+// replica), independent across replicas, stable across platform growth, and
+// producing a well-formed transient-fault timeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/cluster.hpp"
+#include "replay/perturb.hpp"
+#include "support/error.hpp"
+
+using namespace tir;
+using namespace tir::replay;
+
+namespace {
+
+plat::Platform make_cluster(int n) {
+  plat::Platform platform;
+  plat::build_cluster(platform, plat::bordereau_spec(n));
+  return platform;
+}
+
+PerturbSpec noisy_spec() {
+  PerturbSpec spec;
+  spec.host_noise = 0.1;
+  spec.link_bw_noise = 0.05;
+  spec.link_lat_noise = 0.02;
+  return spec;
+}
+
+bool same_fault(const FaultSpec& a, const FaultSpec& b) {
+  return a.kind == b.kind && a.id == b.id && a.target == b.target &&
+         a.compute_factor == b.compute_factor &&
+         a.bandwidth_factor == b.bandwidth_factor &&
+         a.latency_factor == b.latency_factor && a.at_time == b.at_time &&
+         a.until_time == b.until_time && a.repeat == b.repeat &&
+         a.period == b.period;
+}
+
+}  // namespace
+
+TEST(PerturbTest, ExpansionIsDeterministic) {
+  const auto platform = make_cluster(4);
+  const auto spec = noisy_spec();
+  PerturbDraw draw_a, draw_b;
+  const auto a = expand_perturbation(spec, platform, 42, 3, &draw_a);
+  const auto b = expand_perturbation(spec, platform, 42, 3, &draw_b);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(same_fault(a[i], b[i])) << "fault " << i;
+  EXPECT_EQ(draw_a.host_factor, draw_b.host_factor);
+  EXPECT_EQ(draw_a.link_bandwidth_factor, draw_b.link_bandwidth_factor);
+  EXPECT_EQ(draw_a.link_latency_factor, draw_b.link_latency_factor);
+}
+
+TEST(PerturbTest, ReplicasAndSeedsAreIndependent) {
+  const auto platform = make_cluster(4);
+  const auto spec = noisy_spec();
+  PerturbDraw r0, r1, other_seed;
+  (void)expand_perturbation(spec, platform, 42, 0, &r0);
+  (void)expand_perturbation(spec, platform, 42, 1, &r1);
+  (void)expand_perturbation(spec, platform, 43, 0, &other_seed);
+  EXPECT_NE(r0.host_factor, r1.host_factor);
+  EXPECT_NE(r0.link_bandwidth_factor, r1.link_bandwidth_factor);
+  EXPECT_NE(r0.host_factor, other_seed.host_factor);
+}
+
+// Per-resource streams: growing the platform must not change the factors
+// already drawn for existing resources (no shared sequence that shifts when
+// more hosts consume draws ahead of you).
+TEST(PerturbTest, DrawsFormAStablePrefixAcrossPlatformGrowth) {
+  const auto small = make_cluster(4);
+  const auto large = make_cluster(8);
+  const auto spec = noisy_spec();
+  PerturbDraw a, b;
+  (void)expand_perturbation(spec, small, 7, 2, &a);
+  (void)expand_perturbation(spec, large, 7, 2, &b);
+  ASSERT_LT(a.host_factor.size(), b.host_factor.size());
+  for (std::size_t h = 0; h < a.host_factor.size(); ++h)
+    EXPECT_DOUBLE_EQ(a.host_factor[h], b.host_factor[h]) << "host " << h;
+  for (std::size_t l = 0; l < a.link_bandwidth_factor.size(); ++l)
+    EXPECT_DOUBLE_EQ(a.link_bandwidth_factor[l], b.link_bandwidth_factor[l])
+        << "link " << l;
+}
+
+TEST(PerturbTest, FactorsRespectTheClampRange) {
+  const auto platform = make_cluster(16);
+  PerturbSpec spec;
+  spec.host_noise = 1.5;  // wild noise: clamping must kick in
+  spec.min_factor = 0.5;
+  spec.max_factor = 1.5;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    PerturbDraw draw;
+    (void)expand_perturbation(spec, platform, 1, r, &draw);
+    for (const double f : draw.host_factor) {
+      EXPECT_GE(f, 0.5);
+      EXPECT_LE(f, 1.5);
+    }
+  }
+}
+
+TEST(PerturbTest, ArrivalProcessProducesRecoverableFaultsInsideTheHorizon) {
+  const auto platform = make_cluster(4);
+  PerturbSpec spec;
+  spec.fault_rate = 50.0;
+  spec.fault_horizon = 1.0;
+  spec.fault_duration = 0.01;
+  spec.fault_severity = 0.25;
+  const auto faults = expand_perturbation(spec, platform, 9, 0);
+  ASSERT_FALSE(faults.empty());
+  double previous = 0.0;
+  for (const FaultSpec& f : faults) {
+    EXPECT_GE(f.at_time, previous);  // arrivals are ordered
+    EXPECT_LT(f.at_time, spec.fault_horizon);
+    EXPECT_TRUE(f.has_recovery());
+    EXPECT_GT(f.until_time, f.at_time);
+    if (f.kind == FaultSpec::Kind::host)
+      EXPECT_DOUBLE_EQ(f.compute_factor, 0.25);
+    else
+      EXPECT_DOUBLE_EQ(f.bandwidth_factor, 0.25);
+    previous = f.at_time;
+  }
+}
+
+TEST(PerturbTest, EmptySpecExpandsToNothing) {
+  const auto platform = make_cluster(4);
+  const PerturbSpec spec;
+  EXPECT_TRUE(spec.empty());
+  EXPECT_TRUE(expand_perturbation(spec, platform, 1, 0).empty());
+}
+
+TEST(PerturbTest, ValidationRejectsBadParameters) {
+  PerturbSpec negative_noise;
+  negative_noise.host_noise = -0.1;
+  EXPECT_THROW(validate_perturbation(negative_noise, "test"), SimError);
+
+  PerturbSpec bad_clamp;
+  bad_clamp.host_noise = 0.1;
+  bad_clamp.min_factor = 1.5;
+  bad_clamp.max_factor = 0.5;
+  EXPECT_THROW(validate_perturbation(bad_clamp, "test"), SimError);
+
+  PerturbSpec no_duration;
+  no_duration.fault_rate = 1.0;
+  no_duration.fault_horizon = 1.0;
+  no_duration.fault_duration = 0.0;
+  try {
+    validate_perturbation(no_duration, "scenario 'x'");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario 'x'"), std::string::npos);
+  }
+}

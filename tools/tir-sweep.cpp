@@ -7,55 +7,31 @@
 // --obs records the span timeline for every scenario and appends per-rank
 // average compute / p2p / wait / collective seconds to each result row.
 //
-// The list file holds one scenario per non-comment line, as whitespace-
-// separated key=value pairs:
+// The list format (key=value pairs, `default` lines, path caching) is
+// documented in tools/sweep_list.hpp. Beyond the deterministic keys, a row
+// may carry a stochastic envelope:
 //
-//   name=baseline platform=cluster.xml deployment=depl.xml traces=traces/
-//   name=fast-net platform=fast.xml   deployment=depl.xml traces=traces/
+//   perturb=hostnoise:0.05,bwnoise:0.02   platform variability model
+//   mc=100                                Monte-Carlo replica count
+//   seed=42                               sweep seed (default 1)
 //
-// Keys:
-//   name=LABEL             row label (default scenario-<index>)
-//   platform=FILE|SPEC     platform XML, or a topology-registry spec such
-//                          as dragonfly:groups=9,routers=4,hosts=2 —
-//                          symmetric with fault=: one sweep list can walk
-//                          cluster/dragonfly/fattree/torus in one run
-//                          (required; the spec is echoed in a `platform`
-//                          result column)
-//   deployment=FILE|block|roundrobin
-//                          deployment XML, or a derived mapping: block
-//                          fills hosts contiguously, roundrobin stripes
-//                          process i onto host i % host_count (required)
-//   traces=A,B,...         per-process trace files in pid order; a single
-//                          directory means its SG_process<i>.trace files
-//   merged=FILE:N          one merged trace file carrying N processes
-//   eager=BYTES            eager/rendezvous switch (e.g. 64KiB)
-//   collectives=flat|binomial
-//   efficiency=X           compute-rate scale
-//   fault=SPEC,...         inject faults mid-replay; each SPEC is
-//                          host:NAME:FACTOR@TIME (compute power scaled by
-//                          FACTOR from simulated time TIME onwards) or
-//                          link:NAME:BWFACTOR[:LATFACTOR]@TIME
-//
-// A line starting with `default` sets defaults for every later scenario.
-// Relative paths resolve against the list file's directory. Platforms,
-// deployments and trace sets are cached by path: scenarios sharing a trace
-// set share one decoded copy (each file is parsed exactly once per sweep).
+// A row with mc=N expands into N replica rows (name#r0 .. name#rN-1), each
+// replaying a concrete fault timeline derived deterministically from
+// (seed, replica) — plus the unperturbed name#baseline row. A row with
+// perturb= but no mc= replays replica 0 only (one deterministic perturbed
+// row). For aggregated mean/CI/sensitivity over the replicas, use tir-mc
+// over the same list.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/report.hpp"
-#include "platform/deployment.hpp"
-#include "platform/platform_file.hpp"
-#include "platform/topology.hpp"
+#include "replay/perturb.hpp"
 #include "replay/sweep.hpp"
-#include "support/error.hpp"
-#include "support/strings.hpp"
-#include "support/units.hpp"
+#include "sweep_list.hpp"
 
 using namespace tir;
 namespace fs = std::filesystem;
@@ -66,219 +42,39 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--format csv|json] [--output FILE] "
                "[--obs] SCENARIOS.list\n"
-               "see the header of tools/tir-sweep.cpp for the list format\n",
+               "see the header of tools/sweep_list.hpp for the list format\n",
                argv0);
   std::exit(2);
 }
 
-int parse_int(const std::string& what, const std::string& s) {
-  try {
-    std::size_t used = 0;
-    const int v = std::stoi(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError(what + ": expected an integer, got '" + s + "'");
-  }
-}
-
-double parse_double(const std::string& what, const std::string& s) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError(what + ": expected a number, got '" + s + "'");
-  }
-}
-
-struct KeyValues {
-  std::map<std::string, std::string> kv;
-
-  const std::string* find(const std::string& key) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? nullptr : &it->second;
-  }
-};
-
-/// Shared immutable inputs, cached by path so a sweep loads/decodes once.
-struct InputCache {
-  fs::path base;  ///< list-file directory for relative paths
-  std::map<std::string, std::shared_ptr<const plat::Platform>> platforms;
-  std::map<std::string, plat::Deployment> deployments;
-  std::map<std::string, trace::TraceSet> trace_sets;
-
-  fs::path resolve(const std::string& path) const {
-    const fs::path p(path);
-    return p.is_absolute() ? p : base / p;
-  }
-
-  std::shared_ptr<const plat::Platform> platform(const std::string& spec) {
-    auto it = platforms.find(spec);
-    if (it == platforms.end()) {
-      // Topology specs build through the registry; anything else is a file
-      // path and resolves against the list-file directory.
-      const std::string head{str::trim(spec.substr(0, spec.find(':')))};
-      auto built = plat::is_topology(head)
-                       ? plat::make_platform(spec)
-                       : plat::load_platform_file(resolve(spec).string());
-      it = platforms
-               .emplace(spec, std::make_shared<const plat::Platform>(
-                                  std::move(built)))
-               .first;
+/// Expands the parsed entries into the flat scenario vector the runner
+/// consumes: deterministic rows pass through; perturbed rows bake their
+/// replica fault timelines.
+std::vector<replay::ScenarioSpec> expand_entries(
+    const std::vector<tools::SweepEntry>& entries) {
+  std::vector<replay::ScenarioSpec> scenarios;
+  for (const tools::SweepEntry& entry : entries) {
+    if (!entry.has_perturb || entry.perturb.empty()) {
+      scenarios.push_back(entry.spec);
+      continue;
     }
-    return it->second;
-  }
-
-  const plat::Deployment& deployment(const std::string& file) {
-    auto it = deployments.find(file);
-    if (it == deployments.end())
-      it = deployments
-               .emplace(file,
-                        plat::load_deployment_file(resolve(file).string()))
-               .first;
-    return it->second;
-  }
-
-  trace::TraceSet traces(const std::string& spec, bool merged) {
-    const std::string key = (merged ? "merged:" : "split:") + spec;
-    auto it = trace_sets.find(key);
-    if (it != trace_sets.end()) return it->second;
-
-    trace::TraceSet set;
-    if (merged) {
-      // merged=FILE:N — one file carrying N process streams.
-      const auto colon = spec.rfind(':');
-      if (colon == std::string::npos)
-        throw Error("merged=" + spec + ": expected FILE:NPROCS");
-      set = trace::TraceSet::merged_file(
-          resolve(spec.substr(0, colon)),
-          parse_int("merged=" + spec, spec.substr(colon + 1)));
-    } else {
-      std::vector<fs::path> files;
-      for (const auto& token : str::split(spec, ',')) {
-        const fs::path p = resolve(std::string(token));
-        if (fs::is_directory(p)) {
-          for (int pid = 0;; ++pid) {
-            const fs::path f =
-                p / ("SG_process" + std::to_string(pid) + ".trace");
-            if (!fs::exists(f)) break;
-            files.push_back(f);
-          }
-        } else {
-          files.push_back(p);
-        }
-      }
-      set = trace::TraceSet::per_process_files(std::move(files));
+    const int replicas = entry.mc > 0 ? entry.mc : 1;
+    for (int r = 0; r < replicas; ++r) {
+      replay::ScenarioSpec spec = entry.spec;
+      spec.name = entry.spec.name + "#r" + std::to_string(r);
+      auto faults = replay::expand_perturbation(
+          entry.perturb, *spec.platform, entry.seed,
+          static_cast<std::uint64_t>(r));
+      spec.faults.insert(spec.faults.end(), faults.begin(), faults.end());
+      scenarios.push_back(std::move(spec));
     }
-    trace_sets.emplace(key, set);
-    return set;
+    if (entry.mc > 0) {
+      replay::ScenarioSpec spec = entry.spec;
+      spec.name = entry.spec.name + "#baseline";
+      scenarios.push_back(std::move(spec));
+    }
   }
-};
-
-KeyValues parse_tokens(const std::string& line, const fs::path& list_file,
-                       std::size_t line_no) {
-  KeyValues out;
-  std::istringstream is(line);
-  std::string token;
-  while (is >> token) {
-    const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0)
-      throw ParseError(list_file.string() + ":" + std::to_string(line_no) +
-                       ": expected key=value, got '" + token + "'");
-    out.kv[token.substr(0, eq)] = token.substr(eq + 1);
-  }
-  return out;
-}
-
-/// Parses one fault entry: host:NAME:FACTOR@TIME or
-/// link:NAME:BWFACTOR[:LATFACTOR]@TIME.
-replay::FaultSpec parse_fault(const std::string& scenario,
-                              const std::string& entry) {
-  const std::string what = "scenario '" + scenario + "': fault '" + entry +
-                           "'";
-  const auto at = entry.rfind('@');
-  if (at == std::string::npos)
-    throw Error(what + ": missing @TIME");
-  replay::FaultSpec fault;
-  fault.at_time = parse_double(what + " time", entry.substr(at + 1));
-
-  // Named, not a temporary: split() returns views into this string and a
-  // range-for does not lifetime-extend its range initializer.
-  const std::string body = entry.substr(0, at);
-  std::vector<std::string> parts;
-  for (const auto& p : str::split(body, ':'))
-    parts.emplace_back(p);
-  if (parts.size() < 3) throw Error(what + ": expected kind:NAME:FACTOR");
-  fault.target = parts[1];
-  if (parts[0] == "host") {
-    if (parts.size() != 3) throw Error(what + ": host takes one factor");
-    fault.kind = replay::FaultSpec::Kind::host;
-    fault.compute_factor = parse_double(what + " factor", parts[2]);
-  } else if (parts[0] == "link") {
-    if (parts.size() > 4) throw Error(what + ": too many link factors");
-    fault.kind = replay::FaultSpec::Kind::link;
-    fault.bandwidth_factor = parse_double(what + " bandwidth", parts[2]);
-    if (parts.size() == 4)
-      fault.latency_factor = parse_double(what + " latency", parts[3]);
-  } else {
-    throw Error(what + ": kind must be host or link");
-  }
-  return fault;
-}
-
-replay::ScenarioSpec build_scenario(const KeyValues& kv, InputCache& cache,
-                                    std::size_t index) {
-  replay::ScenarioSpec spec;
-  if (const auto* name = kv.find("name"))
-    spec.name = *name;
-  else
-    spec.name = "scenario-" + std::to_string(index);
-
-  const auto* platform = kv.find("platform");
-  if (platform == nullptr)
-    throw Error("scenario '" + spec.name + "': missing platform=");
-  spec.platform = cache.platform(*platform);
-  spec.platform_label = *platform;
-
-  if (const auto* merged = kv.find("merged")) {
-    spec.traces = cache.traces(*merged, /*merged=*/true);
-  } else if (const auto* traces = kv.find("traces")) {
-    spec.traces = cache.traces(*traces, /*merged=*/false);
-  } else {
-    throw Error("scenario '" + spec.name + "': missing traces= or merged=");
-  }
-
-  const auto* deployment = kv.find("deployment");
-  if (deployment == nullptr)
-    throw Error("scenario '" + spec.name + "': missing deployment=");
-  if (*deployment == "block" || *deployment == "roundrobin" ||
-      *deployment == "rr")
-    spec.process_hosts = plat::resolve_deployment_spec(
-        *deployment, *spec.platform, spec.traces.nprocs());
-  else
-    spec.process_hosts =
-        cache.deployment(*deployment).resolve(*spec.platform);
-
-  if (const auto* eager = kv.find("eager"))
-    spec.config.mpi.eager_threshold = units::parse_bytes(*eager);
-  if (const auto* coll = kv.find("collectives")) {
-    if (*coll == "flat")
-      spec.config.mpi.collectives = mpi::CollectiveAlgo::flat;
-    else if (*coll == "binomial")
-      spec.config.mpi.collectives = mpi::CollectiveAlgo::binomial;
-    else
-      throw Error("scenario '" + spec.name + "': unknown collectives '" +
-                  *coll + "'");
-  }
-  if (const auto* eff = kv.find("efficiency"))
-    spec.config.compute_efficiency =
-        parse_double("scenario '" + spec.name + "': efficiency", *eff);
-  if (const auto* fault = kv.find("fault"))
-    for (const auto& token : str::split(*fault, ','))
-      spec.faults.push_back(parse_fault(spec.name, std::string(token)));
-  return spec;
+  return scenarios;
 }
 
 /// Per-rank averages over the recorded span totals (the --obs columns).
@@ -348,7 +144,7 @@ int main(int argc, char** argv) {
     if (arg == "--workers") {
       const std::string n = next();
       try {
-        options.workers = parse_int("--workers", n);
+        options.workers = tools::parse_int("--workers", n);
       } catch (const Error& e) {
         std::fprintf(stderr, "%s\n", e.what());
         usage(argv[0]);
@@ -375,36 +171,8 @@ int main(int argc, char** argv) {
 
   try {
     const fs::path list_file(list_arg);
-    std::ifstream in(list_file);
-    if (!in)
-      throw IoError("cannot open scenario list '" + list_file.string() + "'");
-
-    InputCache cache;
-    cache.base = list_file.has_parent_path() ? list_file.parent_path()
-                                             : fs::path(".");
-
-    KeyValues defaults;
-    std::vector<replay::ScenarioSpec> scenarios;
-    std::string line;
-    std::size_t line_no = 0;
-    while (std::getline(in, line)) {
-      ++line_no;
-      const auto trimmed = std::string(str::trim(line));
-      if (trimmed.empty() || trimmed[0] == '#') continue;
-      if (trimmed.rfind("default", 0) == 0 &&
-          (trimmed.size() == 7 || trimmed[7] == ' ' || trimmed[7] == '\t')) {
-        const KeyValues d =
-            parse_tokens(trimmed.substr(7), list_file, line_no);
-        for (const auto& [k, v] : d.kv) defaults.kv[k] = v;
-        continue;
-      }
-      KeyValues kv = defaults;
-      const KeyValues own = parse_tokens(trimmed, list_file, line_no);
-      for (const auto& [k, v] : own.kv) kv.kv[k] = v;
-      scenarios.push_back(build_scenario(kv, cache, scenarios.size()));
-    }
-    if (scenarios.empty())
-      throw Error("scenario list '" + list_file.string() + "' is empty");
+    std::vector<replay::ScenarioSpec> scenarios =
+        expand_entries(tools::load_sweep_list(list_file));
     if (want_obs)
       for (auto& spec : scenarios) spec.config.record_spans = true;
 
