@@ -36,4 +36,13 @@ echo "== Figure 9 replay time -> $OUT/BENCH_fig9.txt"
 TIR_SCALE="${TIR_SCALE:-0.05}" "$BUILD/bench/bench_fig9_replaytime" \
   | tee "$OUT/BENCH_fig9.txt"
 
-echo "== recorded: $OUT/BENCH_kernel.json $OUT/BENCH_fig9.txt"
+# Parallel-engine counterpart: sequential vs fast-path vs fast-path+shards
+# over the same LU class-B replays; the bench exits nonzero if any engine's
+# simulated time diverges bitwise. TIR_FIG9_PROCS=8,64,256,... extends the
+# rank counts (acquisition dominates past 64 — see EXPERIMENTS.md).
+echo "== Figure 9 parallel engines -> $OUT/BENCH_fig9_parallel.txt"
+TIR_SCALE="${TIR_SCALE:-0.05}" "$BUILD/bench/bench_fig9_parallel" \
+  | tee "$OUT/BENCH_fig9_parallel.txt"
+
+echo "== recorded: $OUT/BENCH_kernel.json $OUT/BENCH_fig9.txt" \
+     "$OUT/BENCH_fig9_parallel.txt"

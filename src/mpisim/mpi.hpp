@@ -181,10 +181,15 @@ class Rank final : public MpiApi {
   std::deque<InMsg> unexpected_;
   std::deque<Request> posted_;
 
-  // Diagnostics state (see OpScope / describe_state).
+  // Diagnostics state (see OpScope / describe_state). Rendering is lazy:
+  // the hot path stores a label pointer and a request handle, and only a
+  // deadlock report turns them into text — waits happen millions of times
+  // per replay, deadlocks once.
   int op_depth_ = 0;
-  std::string op_label_;   ///< outermost MPI call in progress
-  std::string op_detail_;  ///< innermost await (set by wait())
+  const char* op_label_ = nullptr;  ///< outermost MPI call in progress
+  enum class OpPhase { none, request, eager_payload, rendezvous_payload };
+  OpPhase op_phase_ = OpPhase::none;  ///< innermost await (set by wait())
+  Request op_request_;                ///< request behind the innermost await
 
   void deliver(InMsg message);
   void fill_match(detail::RequestState& recv_state, const InMsg& message);

@@ -25,8 +25,9 @@ Rank::OpScope::OpScope(Rank& r, const char* label, obs::SpanKind kind,
 
 Rank::OpScope::~OpScope() {
   if (--rank.op_depth_ == 0) {
-    rank.op_label_.clear();
-    rank.op_detail_.clear();
+    rank.op_label_ = nullptr;
+    rank.op_phase_ = OpPhase::none;
+    rank.op_request_.reset();
     // Also runs when a deadlocked frame is destroyed mid-await: the span
     // then closes at the time progress stopped, which is exactly what the
     // timeline should show for a blocked rank.
@@ -79,9 +80,23 @@ std::string describe_request(const RequestState& state) {
 }  // namespace
 
 std::string Rank::describe_state() const {
-  std::string s = op_label_.empty() ? std::string("outside any MPI call")
-                                    : "in " + op_label_;
-  if (!op_detail_.empty()) s += " awaiting " + op_detail_;
+  std::string s = op_label_ == nullptr ? std::string("outside any MPI call")
+                                       : "in " + std::string(op_label_);
+  switch (op_phase_) {
+    case OpPhase::none:
+      break;
+    case OpPhase::request:
+      if (op_request_) s += " awaiting " + describe_request(*op_request_);
+      break;
+    case OpPhase::eager_payload:
+      s += " awaiting eager payload from rank " +
+           std::to_string(op_request_ ? op_request_->matched_src : -1);
+      break;
+    case OpPhase::rendezvous_payload:
+      s += " awaiting rendezvous payload from rank " +
+           std::to_string(op_request_ ? op_request_->matched_src : -1);
+      break;
+  }
   s += "; queues: " + std::to_string(unexpected_.size()) + " unexpected, " +
        std::to_string(posted_.size()) + " posted";
   std::size_t listed = 0;
@@ -193,7 +208,8 @@ sim::Co<void> Rank::wait(Request request) {
                 state.kind == RequestState::Kind::recv ? state.src
                                                        : state.peer,
                 static_cast<double>(state.bytes));
-  op_detail_ = describe_request(state);
+  op_request_ = request;
+  op_phase_ = OpPhase::request;
   switch (state.kind) {
     case RequestState::Kind::send_eager:
       // The sender only waits for its local buffer copy; the payload
@@ -208,8 +224,7 @@ sim::Co<void> Rank::wait(Request request) {
       if (state.rendezvous) {
         // Receiver drives the handshake: one control latency, then the
         // payload, then release the sender.
-        op_detail_ = "rendezvous payload from rank " +
-                     std::to_string(state.matched_src);
+        op_phase_ = OpPhase::rendezvous_payload;
         if (state.control_latency > 0)
           co_await engine().wait(
               engine().timer_async(state.control_latency));
@@ -219,14 +234,13 @@ sim::Co<void> Rank::wait(Request request) {
         co_await engine().wait(transfer);
         state.peer_gate->open();
       } else if (state.transfer) {
-        op_detail_ = "eager payload from rank " +
-                     std::to_string(state.matched_src);
+        op_phase_ = OpPhase::eager_payload;
         co_await engine().wait(state.transfer);
       }
       break;
     }
   }
-  op_detail_.clear();
+  op_phase_ = OpPhase::none;
   state.completed = true;
   // The message dependency is satisfied here — record src issue time ->
   // recv completion so the critical-path walk can hop across ranks.
@@ -237,7 +251,13 @@ sim::Co<void> Rank::wait(Request request) {
 
 sim::Co<void> Rank::waitall(std::vector<Request> requests) {
   OpScope scope(*this, "waitAll", obs::SpanKind::waitall);
-  for (auto& request : requests) co_await wait(std::move(request));
+  for (auto& request : requests) {
+    // Null or already-waited requests need no nested coroutine at all
+    // (wait() would co_return before doing anything observable); skipping
+    // the frame keeps the engine's inline fast-path chains unbroken.
+    if (!request || request->completed) continue;
+    co_await wait(std::move(request));
+  }
 }
 
 sim::Co<void> Rank::send(int dst, std::uint64_t bytes, int tag) {

@@ -53,15 +53,16 @@ using ActivityPtr = std::shared_ptr<Activity>;
 
 /// State shared by the fluid (rate-controlled) phase of Exec and Transfer.
 /// Progress is tracked lazily: `remaining` is exact as of `last_update`,
-/// and the engine keeps the predicted finish in a priority queue; stale
-/// queue entries are detected through `generation`.
+/// and the engine keeps the predicted finish in its indexed finish queue —
+/// one entry per running fluid, re-keyed in place when the rate changes,
+/// located through `heap_pos`.
 struct FluidState {
   VarId var = -1;            ///< network-solver variable (flows only)
   double remaining = 0.0;    ///< work left as of last_update
   double rate = 0.0;         ///< current rate
   SimTime last_update = 0.0;
   SimTime finish_est = 0.0;  ///< predicted completion (inf when starved)
-  std::uint64_t generation = 0;
+  std::int32_t heap_pos = -1;  ///< slot in the finish queue (-1: not queued)
   std::size_t index = 0;     ///< Execs: slot in the engine's per-host list.
                              ///< Transfers are tracked by `var` instead
                              ///< (the engine's VarId-indexed flow table).

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/recorder.hpp"
+#include "simkern/shard_pool.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -29,6 +30,13 @@ void Gate::open() {
 
 Engine::Engine(const plat::Platform& platform, EngineConfig config)
     : platform_(platform), config_(config) {
+  if (config.shards < 1)
+    throw SimError("engine: shards must be >= 1, got " +
+                   std::to_string(config.shards));
+  if (config.shards > 1) {
+    shard_pool_ = std::make_unique<ShardPool>(config.shards);
+    net_lmm_.set_executor(shard_pool_.get());
+  }
   net_lmm_.set_full_solve(config.full_solve);
   link_res_.reserve(platform.link_count());
   for (std::size_t l = 0; l < platform.link_count(); ++l)
@@ -89,17 +97,107 @@ void Engine::catch_up(FluidState& fluid) {
   fluid.last_update = now_;
 }
 
+// Finish queue: indexed 4-ary min-heap over the running fluids.
+//
+// Every fluid with a positive rate has exactly one entry, re-keyed in place
+// when a solve changes its rate (FluidState::heap_pos tracks the slot). The
+// lazy alternative — push a fresh entry per re-rate, drop stale ones as
+// they surface at the top — floods the queue at scale: on a shared
+// backbone every solve re-rates O(coupled flows), so stale entries come to
+// dominate the heap, deepening every sift and burning a pop each. Re-keying
+// keeps the heap at live size, and a rate change that barely moves the
+// finish estimate barely moves the entry. Pop order is the same strict
+// (time, seq) total order either way — stale entries never complete
+// anything — so simulated times are bit-identical.
+bool Engine::finish_before(const FinishItem& a, const FinishItem& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+void Engine::finish_place(FinishItem item, std::size_t i) {
+  item.fluid->heap_pos = static_cast<std::int32_t>(i);
+  finish_heap_[i] = std::move(item);
+}
+
+std::size_t Engine::finish_sift_up(std::size_t i) {
+  FinishItem item = std::move(finish_heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!finish_before(item, finish_heap_[parent])) break;
+    finish_place(std::move(finish_heap_[parent]), i);
+    i = parent;
+  }
+  finish_place(std::move(item), i);
+  return i;
+}
+
+std::size_t Engine::finish_sift_down(std::size_t i) {
+  FinishItem item = std::move(finish_heap_[i]);
+  const std::size_t n = finish_heap_.size();
+  for (;;) {
+    std::size_t best = 4 * i + 1;
+    if (best >= n) break;
+    const std::size_t last = std::min(best + 4, n);
+    for (std::size_t c = best + 1; c < last; ++c) {
+      if (finish_before(finish_heap_[c], finish_heap_[best])) best = c;
+    }
+    if (!finish_before(finish_heap_[best], item)) break;
+    finish_place(std::move(finish_heap_[best]), i);
+    i = best;
+  }
+  finish_place(std::move(item), i);
+  return i;
+}
+
+void Engine::finish_update(const ActivityPtr& activity, FluidState& fluid,
+                           SimTime time) {
+  if (fluid.heap_pos < 0) {
+    const std::size_t i = finish_heap_.size();
+    finish_heap_.push_back(FinishItem{time, seq_++, activity, &fluid});
+    fluid.heap_pos = static_cast<std::int32_t>(i);
+    finish_sift_up(i);
+  } else {
+    const auto i = static_cast<std::size_t>(fluid.heap_pos);
+    finish_heap_[i].time = time;
+    finish_heap_[i].seq = seq_++;
+    finish_sift_down(finish_sift_up(i));
+  }
+}
+
+void Engine::finish_remove(FluidState& fluid) {
+  if (fluid.heap_pos < 0) return;
+  const auto i = static_cast<std::size_t>(fluid.heap_pos);
+  fluid.heap_pos = -1;
+  if (i + 1 != finish_heap_.size()) {
+    finish_place(std::move(finish_heap_.back()), i);
+    finish_heap_.pop_back();
+    finish_sift_down(finish_sift_up(i));
+  } else {
+    finish_heap_.pop_back();
+  }
+}
+
+void Engine::finish_pop() {
+  finish_heap_.front().fluid->heap_pos = -1;
+  if (finish_heap_.size() > 1) {
+    finish_place(std::move(finish_heap_.back()), 0);
+    finish_heap_.pop_back();
+    finish_sift_down(0);
+  } else {
+    finish_heap_.pop_back();
+  }
+}
+
 void Engine::set_rate(const ActivityPtr& activity, FluidState& fluid,
                       double rate) {
   catch_up(fluid);
   fluid.rate = rate;
-  ++fluid.generation;
   if (rate > 0) {
     fluid.finish_est = now_ + fluid.remaining / rate;
-    finish_heap_.push(FinishItem{fluid.finish_est, seq_++, activity, &fluid,
-                                 fluid.generation});
+    finish_update(activity, fluid, fluid.finish_est);
   } else {
     fluid.finish_est = kInf;  // starved: no completion until a rate change
+    finish_remove(fluid);
   }
 }
 
@@ -123,6 +221,7 @@ void Engine::resolve_network() {
   stats_.solver_component_size_max =
       std::max<std::uint64_t>(stats_.solver_component_size_max,
                               solver.max_component_vars);
+  stats_.solver_parallel_fills = solver.parallel_fills;
   for (const VarId var : changed) {
     const auto& transfer = var_flows_[static_cast<std::size_t>(var)];
     if (!transfer) continue;
@@ -351,6 +450,7 @@ void Engine::complete(Activity& activity) {
   switch (activity.kind()) {
     case Activity::Kind::exec: {
       auto& exec = static_cast<Exec&>(activity);
+      finish_remove(exec.fluid);
       auto& execs = host_execs_[static_cast<std::size_t>(exec.host)];
       if (exec.fluid.index < execs.size() &&
           execs[exec.fluid.index].get() == &exec) {
@@ -363,6 +463,7 @@ void Engine::complete(Activity& activity) {
     }
     case Activity::Kind::transfer: {
       auto& transfer = static_cast<Transfer&>(activity);
+      finish_remove(transfer.fluid);
       if (transfer.fluid.var >= 0) {
         net_lmm_.remove_variable(transfer.fluid.var);
         var_flows_[static_cast<std::size_t>(transfer.fluid.var)].reset();
@@ -375,6 +476,73 @@ void Engine::complete(Activity& activity) {
   }
   for (const auto waiter : activity.waiters_) ready_.push_back(waiter);
   activity.waiters_.clear();
+}
+
+bool Engine::try_fast_complete(Activity& activity) {
+  // Eligibility: the engine is mid-run with no error, the awaiting
+  // coroutine is the only runnable one (ready_ empty — it is running right
+  // now and has not registered itself as a waiter yet), nobody else awaits
+  // this activity (an inline completion would otherwise reorder their
+  // wakeups), and the activity is fluid-backed so it has a finish estimate
+  // to check against the event horizon.
+  if (!config_.fast_path || !running_ || first_error_ || !ready_.empty())
+    return false;
+  if (!activity.waiters_.empty()) return false;
+  FluidState* fluid = nullptr;
+  if (activity.kind() == Activity::Kind::exec) {
+    fluid = &static_cast<Exec&>(activity).fluid;
+  } else if (activity.kind() == Activity::Kind::transfer) {
+    auto& transfer = static_cast<Transfer&>(activity);
+    if (!transfer.flowing) return false;  // still in its latency phase
+    fluid = &transfer.fluid;
+  } else {
+    return false;
+  }
+
+  // Mirror one iteration of run()'s loop: catch the solver up on this
+  // coroutine's mutations, then require this fluid's completion to be the
+  // next event — and the only one inside its epsilon window.
+  resolve_network();
+  if (finish_heap_.empty()) return false;
+  if (finish_heap_.front().fluid != fluid) return false;
+  const SimTime t = finish_heap_.front().time;
+  const double time_eps = 1e-9 * (1.0 + std::abs(t));
+  if (!heap_.empty() && heap_.top().time <= t + time_eps) return false;
+  // The runner-up finish is the earliest of the root's (up to four)
+  // children — every deeper entry sorts at or after one of them. If it
+  // lands inside the epsilon window the sequential loop would
+  // batch-complete both; bail without touching the heap.
+  const std::size_t second = std::min<std::size_t>(5, finish_heap_.size());
+  for (std::size_t c = 1; c < second; ++c) {
+    if (finish_heap_[c].time <= t + time_eps) return false;
+  }
+  if (activity.kind() == Activity::Kind::exec) {
+    // Completing an Exec speeds up its host siblings; if one would then
+    // finish inside this epsilon window, the sequential loop batch-completes
+    // it before resuming anyone — too entangled to inline.
+    const auto& exec = static_cast<const Exec&>(activity);
+    const auto& execs = host_execs_[static_cast<std::size_t>(exec.host)];
+    if (execs.size() > 1) {
+      const double share =
+          platform_.host(exec.host).power *
+          host_power_factor_[static_cast<std::size_t>(exec.host)] /
+          static_cast<double>(execs.size() - 1);
+      for (const auto& sibling : execs) {
+        if (sibling.get() == &exec) continue;
+        const FluidState& f = sibling->fluid;
+        double remaining = f.remaining;
+        if (f.rate > 0 && t > f.last_update)
+          remaining = std::max(0.0, remaining - f.rate * (t - f.last_update));
+        if (remaining <= share * time_eps) return false;  // finish <= t + eps
+      }
+    }
+  }
+
+  finish_pop();
+  now_ = t;
+  ++stats_.fast_path_inline;
+  complete(activity);
+  return true;
 }
 
 void Engine::drain_ready() {
@@ -390,23 +558,11 @@ void Engine::run() {
   running_ = true;
   drain_ready();
 
-  const auto pop_stale = [this] {
-    while (!finish_heap_.empty()) {
-      const FinishItem& top = finish_heap_.top();
-      if (top.activity->done() || top.generation != top.fluid->generation) {
-        finish_heap_.pop();
-      } else {
-        break;
-      }
-    }
-  };
-
   while (!first_error_) {
     resolve_network();
 
-    pop_stale();
     const SimTime t_fluid =
-        finish_heap_.empty() ? kInf : finish_heap_.top().time;
+        finish_heap_.empty() ? kInf : finish_heap_.front().time;
     const SimTime t_heap = heap_.empty() ? kInf : heap_.top().time;
     const SimTime t_next = std::min(t_fluid, t_heap);
     if (t_next == kInf) break;
@@ -417,12 +573,11 @@ void Engine::run() {
     // the heap top rather than iterating a snapshot.
     const double time_eps = 1e-9 * (1.0 + std::abs(now_));
     for (;;) {
-      pop_stale();
       if (finish_heap_.empty()) break;
-      const FinishItem top = finish_heap_.top();
-      if (top.time > now_ + time_eps) break;
-      finish_heap_.pop();
-      complete(*top.activity);
+      if (finish_heap_.front().time > now_ + time_eps) break;
+      const ActivityPtr activity = std::move(finish_heap_.front().activity);
+      finish_pop();
+      complete(*activity);
     }
 
     while (!heap_.empty() && heap_.top().time <= now_ + time_eps) {

@@ -41,6 +41,8 @@ class Recorder;
 
 namespace tir::sim {
 
+class ShardPool;
+
 class Process {
  public:
   int id() const { return id_; }
@@ -78,6 +80,21 @@ struct EngineConfig {
   /// every change instead of only the modified connected components —
   /// the reference path for differential testing of the incremental solver.
   bool full_solve = false;
+  /// Coroutine fast path: when the awaited fluid's completion is provably
+  /// the sole event in the next epsilon window (no other runnable process,
+  /// no earlier or batched event), the engine completes it inline at the
+  /// await point instead of suspending and round-tripping through the
+  /// scheduler. Deterministic action chains — compute bursts, eager sends,
+  /// already-satisfied waits — then run without a coroutine switch.
+  /// Bit-identical to the sequential schedule by construction; only the
+  /// EngineStats fast-path/resume counters differ. Off = reference engine.
+  bool fast_path = false;
+  /// Sharded execution: > 1 spins up a pool of this many OS threads
+  /// (ShardPool) and fills disconnected network solver components in
+  /// parallel, one conservative barrier per solver epoch. Event order is
+  /// untouched, so results are bit-identical for every shard count.
+  /// 1 (default) = fully sequential reference engine. Range [1, 512].
+  int shards = 1;
   /// Observability sink, or null (the default: recording fully disabled,
   /// costing one pointer test per emission site). The engine records fault
   /// activations always, and per-activity spans on host tracks when the
@@ -95,6 +112,12 @@ struct EngineStats {
   std::uint64_t solver_vars_touched = 0;  ///< component vars re-solved (sum)
   std::uint64_t solver_component_size_max = 0;  ///< largest single re-solve
   std::uint64_t flows_rerated = 0;  ///< transfers whose rate was requeued
+  // Parallel replay: coroutine switches avoided by the fast path and solver
+  // epochs filled on the shard pool. Both are exactly zero when the
+  // corresponding EngineConfig knob is off.
+  std::uint64_t fast_path_inline = 0;  ///< fluid completions run at the await
+  std::uint64_t fast_path_ready = 0;   ///< already-done awaits, no suspension
+  std::uint64_t solver_parallel_fills = 0;  ///< solves filled on the pool
 };
 
 class Engine {
@@ -198,8 +221,20 @@ class Engine {
   // -- awaiting ------------------------------------------------------------
 
   struct Awaiter {
+    Engine* engine;
     Activity* activity;
-    bool await_ready() const noexcept { return activity->done(); }
+    // The fast path lives here: an await either observes a completed
+    // activity (no suspension ever happened for these) or asks the engine
+    // to prove the activity's completion is the next event and run it
+    // inline — in both cases await_suspend is skipped and the coroutine
+    // continues without a context switch.
+    bool await_ready() const noexcept {
+      if (activity->done()) {
+        engine->note_fast_ready();
+        return true;
+      }
+      return engine->try_fast_complete(*activity);
+    }
     void await_suspend(std::coroutine_handle<> h) {
       activity->waiters_.push_back(h);
     }
@@ -220,8 +255,10 @@ class Engine {
   };
 
   /// co_await engine.wait(act) — suspends until the activity completes.
-  Awaiter wait(const ActivityPtr& activity) { return Awaiter{activity.get()}; }
-  Awaiter wait(Activity& activity) { return Awaiter{&activity}; }
+  Awaiter wait(const ActivityPtr& activity) {
+    return Awaiter{this, activity.get()};
+  }
+  Awaiter wait(Activity& activity) { return Awaiter{this, &activity}; }
 
   /// Convenience: one-shot sleep.
   OwningAwaiter wait_for(SimTime duration) {
@@ -248,25 +285,45 @@ class Engine {
     }
   };
 
-  // Lazy finish-time queue for fluids; stale entries are recognised by a
-  // per-fluid generation counter. Entries hold a strong reference: an
-  // activity may complete (and its owner drop it) long before its stale
-  // queue entries surface.
+  // Finish-time queue entry for fluids. Every running fluid (rate > 0,
+  // activity not done) has exactly one entry, re-keyed in place on rate
+  // changes through FluidState::heap_pos. The entry holds a strong
+  // reference so a scheduled activity outlives its owner dropping it.
   struct FinishItem {
     SimTime time;
     std::uint64_t seq;
     ActivityPtr activity;
     FluidState* fluid;  // points into *activity
-    std::uint64_t generation;
-    bool operator>(const FinishItem& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
 
   const CachedRoute& cached_route(int src_host, int dst_host);
   void complete(Activity& activity);
   void start_flow(Transfer& transfer);
+
+  // Indexed 4-ary min-heap over the running fluids (see the comment block
+  // in engine.cpp). Pop order is the strict (time, seq) total order.
+  static bool finish_before(const FinishItem& a, const FinishItem& b);
+  void finish_place(FinishItem item, std::size_t i);
+  std::size_t finish_sift_up(std::size_t i);
+  std::size_t finish_sift_down(std::size_t i);
+  /// Inserts `fluid`'s entry or re-keys it in place to (time, fresh seq).
+  void finish_update(const ActivityPtr& activity, FluidState& fluid,
+                     SimTime time);
+  /// Drops `fluid`'s entry if queued (starvation, completion).
+  void finish_remove(FluidState& fluid);
+  /// Removes the earliest entry.
+  void finish_pop();
+
+  /// The coroutine fast path (EngineConfig::fast_path): proves `activity`'s
+  /// completion is the sole event inside the next epsilon window — no other
+  /// runnable coroutine, no earlier/equal fluid or timed event, no exec
+  /// sibling pulled into the window by the completion — and if so advances
+  /// time and completes it inline, returning true so the await never
+  /// suspends. Mirrors exactly one iteration of run()'s event loop.
+  bool try_fast_complete(Activity& activity);
+  void note_fast_ready() {
+    if (config_.fast_path) ++stats_.fast_path_ready;
+  }
 
   /// Brings `fluid.remaining` up to date at the current time.
   void catch_up(FluidState& fluid);
@@ -289,6 +346,9 @@ class Engine {
   // var_flows_, a VarId-indexed side table (dense: the solver recycles ids)
   // that lets resolve_network() re-rate exactly the flows the incremental
   // solver reports as changed instead of rescanning every live flow.
+  // The shard pool (EngineConfig::shards > 1) backs the solver's
+  // ParallelExecutor hook; it must outlive net_lmm_'s last solve.
+  std::unique_ptr<ShardPool> shard_pool_;
   MaxMin net_lmm_;
   std::vector<ResourceId> link_res_;   // link id -> network resource
   std::vector<std::shared_ptr<Transfer>> var_flows_;  // VarId -> flow
@@ -308,8 +368,7 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
-  std::priority_queue<FinishItem, std::vector<FinishItem>, std::greater<>>
-      finish_heap_;
+  std::vector<FinishItem> finish_heap_;  // indexed min-heap, one per fluid
   std::deque<std::coroutine_handle<>> ready_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_processes_ = 0;

@@ -63,7 +63,10 @@ VarId MaxMin::add_variable(double weight,
   v.rate = 0.0;
   v.active = true;
   v.resources = resources;
-  std::sort(v.resources.begin(), v.resources.end());
+  // Routes from the platform's route cache arrive pre-sorted; skip the sort
+  // for them (flows are added once per message — this is a hot path).
+  if (!std::is_sorted(v.resources.begin(), v.resources.end()))
+    std::sort(v.resources.begin(), v.resources.end());
   v.resources.erase(std::unique(v.resources.begin(), v.resources.end()),
                     v.resources.end());
   v.positions.clear();
@@ -87,7 +90,8 @@ void MaxMin::remove_variable(VarId id) {
   if (!v.active) throw Error("MaxMin: removing an inactive variable");
   // Intrusive bidirectional membership: swap-remove this variable from each
   // of its resources' member lists, repairing the moved member's stored
-  // position (binary search — resource lists in Var are sorted).
+  // position. Routes are a handful of links, so a linear scan of the moved
+  // member's (sorted) resource list beats std::lower_bound's branching.
   for (std::size_t i = 0; i < v.resources.size(); ++i) {
     const ResourceId r = v.resources[i];
     Res& res = resources_[static_cast<std::size_t>(r)];
@@ -97,9 +101,9 @@ void MaxMin::remove_variable(VarId id) {
     res.vars.pop_back();
     if (moved != id) {
       Var& m = vars_[static_cast<std::size_t>(moved)];
-      const auto it =
-          std::lower_bound(m.resources.begin(), m.resources.end(), r);
-      m.positions[static_cast<std::size_t>(it - m.resources.begin())] = pos;
+      std::size_t k = 0;
+      while (m.resources[k] != r) ++k;
+      m.positions[k] = pos;
     }
     mark_resource_modified(r);
   }
@@ -127,45 +131,40 @@ double MaxMin::resource_load(ResourceId r) const {
 void MaxMin::expand_components() {
   component_res_.clear();
   component_vars_.clear();
+  components_.clear();
+  fill_res_.clear();
+  fill_var_.clear();
 
+  // Joining a component also loads the member into the fill scratch arrays
+  // and records its slot — the BFS touches every Res/Var anyway, so the
+  // fill needs no setup pass of its own.
   const auto push_res = [this](ResourceId r) {
     Res& res = resources_[static_cast<std::size_t>(r)];
     if (res.in_component) return;
     res.in_component = true;
+    res.slot = static_cast<std::int32_t>(component_res_.size());
     component_res_.push_back(r);
+    fill_res_.push_back(FillRes{res.capacity, 0.0});
   };
   const auto push_var = [this](VarId v) {
     Var& var = vars_[static_cast<std::size_t>(v)];
     if (var.in_component) return;
     var.in_component = true;
+    var.slot = static_cast<std::int32_t>(component_vars_.size());
     component_vars_.push_back(v);
+    fill_var_.push_back(FillVar{0.0, var.bound, var.weight, var.rate, false});
   };
 
-  if (full_solve_) {
-    for (std::size_t i = 0; i < vars_.size(); ++i) {
-      const Var& v = vars_[i];
-      if (!v.active) continue;
-      push_var(static_cast<VarId>(i));
-      for (const ResourceId r : v.resources) push_res(r);
-    }
-    for (const ResourceId r : modified_resources_)
-      resources_[static_cast<std::size_t>(r)].modified = false;
-  } else {
-    for (const ResourceId r : modified_resources_) {
-      resources_[static_cast<std::size_t>(r)].modified = false;
-      push_res(r);
-    }
-    for (const VarId v : modified_vars_) {
-      Var& var = vars_[static_cast<std::size_t>(v)];
-      var.modified = false;
-      if (!var.active) continue;
-      push_var(v);
-      for (const ResourceId r : var.resources) push_res(r);
-    }
-    // Close over the constraint graph: every member of a component resource
-    // joins, and every resource of a component variable joins. Both lists
-    // double as BFS worklists.
-    std::size_t ri = 0, vi = 0;
+  // Grows the full connected component around one seed. Seeds already swept
+  // into an earlier component are skipped by the callers (in_component),
+  // so each call emits one genuinely disjoint Component slice. Both lists
+  // double as BFS worklists: every member of a component resource joins,
+  // and every resource of a component variable joins. Weight sums
+  // accumulate per (variable, resource) edge in discovery order — the same
+  // variable-major order the old fill setup used, so the sums are
+  // bit-identical.
+  const auto grow = [&](std::size_t res_begin, std::size_t var_begin) {
+    std::size_t ri = res_begin, vi = var_begin;
     while (ri < component_res_.size() || vi < component_vars_.size()) {
       while (ri < component_res_.size()) {
         const Res& res = resources_[static_cast<std::size_t>(
@@ -175,92 +174,121 @@ void MaxMin::expand_components() {
       while (vi < component_vars_.size()) {
         const Var& var = vars_[static_cast<std::size_t>(
             component_vars_[vi++])];
-        for (const ResourceId r : var.resources) push_res(r);
+        for (const ResourceId r : var.resources) {
+          push_res(r);
+          fill_res_[static_cast<std::size_t>(
+              resources_[static_cast<std::size_t>(r)].slot)].wsum +=
+              var.weight;
+        }
       }
     }
+    components_.push_back(Component{res_begin, component_res_.size(),
+                                    var_begin, component_vars_.size()});
+  };
+  const auto grow_from_res = [&](ResourceId r) {
+    if (resources_[static_cast<std::size_t>(r)].in_component) return;
+    const std::size_t rb = component_res_.size();
+    const std::size_t vb = component_vars_.size();
+    push_res(r);
+    grow(rb, vb);
+  };
+  const auto grow_from_var = [&](VarId v) {
+    if (vars_[static_cast<std::size_t>(v)].in_component) return;
+    const std::size_t rb = component_res_.size();
+    const std::size_t vb = component_vars_.size();
+    push_var(v);
+    grow(rb, vb);
+  };
+
+  if (full_solve_) {
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i].active) grow_from_var(static_cast<VarId>(i));
+    }
+  } else {
+    for (const ResourceId r : modified_resources_) grow_from_res(r);
+    for (const VarId v : modified_vars_) {
+      if (vars_[static_cast<std::size_t>(v)].active) grow_from_var(v);
+    }
   }
+  for (const ResourceId r : modified_resources_)
+    resources_[static_cast<std::size_t>(r)].modified = false;
   for (const VarId v : modified_vars_)
     vars_[static_cast<std::size_t>(v)].modified = false;
   modified_resources_.clear();
   modified_vars_.clear();
 }
 
-void MaxMin::fill_components() {
-  for (const ResourceId r : component_res_) {
-    Res& res = resources_[static_cast<std::size_t>(r)];
-    res.remaining = res.capacity;
-    res.weight_sum = 0.0;
-  }
-  old_rates_.clear();
-  old_rates_.reserve(component_vars_.size());
-  for (const VarId id : component_vars_) {
-    Var& v = vars_[static_cast<std::size_t>(id)];
-    old_rates_.push_back(v.rate);
-    v.rate = 0.0;
-    v.done = false;
-    for (const ResourceId r : v.resources)
-      resources_[static_cast<std::size_t>(r)].weight_sum += v.weight;
-  }
+void MaxMin::fill_component(std::size_t c) {
+  const Component& comp = components_[c];
+  const std::size_t rb = comp.res_begin, re = comp.res_end;
+  const std::size_t vb = comp.var_begin, ve = comp.var_end;
 
-  unsat_ = component_vars_;
-  while (!unsat_.empty()) {
+  const auto saturate = [this](std::size_t j, VarId id, double rate) {
+    FillVar& fv = fill_var_[j];
+    fv.rate = rate;
+    fv.done = true;
+    const Var& v = vars_[static_cast<std::size_t>(id)];
+    for (const ResourceId r : v.resources) {
+      FillRes& fr = fill_res_[static_cast<std::size_t>(
+          resources_[static_cast<std::size_t>(r)].slot)];
+      fr.rem = std::max(0.0, fr.rem - rate);
+      fr.wsum -= fv.weight;
+    }
+  };
+
+  // The unsaturated set is tracked through the `done` flags: each round
+  // scans every component variable and skips finished ones. Components are
+  // small (a handful of variables for most incremental solves) and rounds
+  // are few, so the rescans beat maintaining a shrinking worklist.
+  std::size_t unsat_count = ve - vb;
+  while (unsat_count > 0) {
     // Smallest per-weight share offered by any component resource.
     double best_share = kInf;
-    for (const ResourceId r : component_res_) {
-      const Res& res = resources_[static_cast<std::size_t>(r)];
-      if (res.weight_sum > kEps)
-        best_share = std::min(best_share, res.remaining / res.weight_sum);
+    for (std::size_t i = rb; i < re; ++i) {
+      if (fill_res_[i].wsum > kEps)
+        best_share = std::min(best_share, fill_res_[i].rem / fill_res_[i].wsum);
     }
-
-    const auto saturate = [this](VarId id, double rate) {
-      Var& v = vars_[static_cast<std::size_t>(id)];
-      v.rate = rate;
-      v.done = true;
-      for (const ResourceId r : v.resources) {
-        Res& res = resources_[static_cast<std::size_t>(r)];
-        res.remaining = std::max(0.0, res.remaining - rate);
-        res.weight_sum -= v.weight;
-      }
-    };
 
     // Variables whose bound binds before (or at) the resource share.
     bool any_bounded = false;
-    for (const VarId id : unsat_) {
-      const Var& v = vars_[static_cast<std::size_t>(id)];
-      if (v.bound < best_share * v.weight * (1.0 - 1e-9) ||
+    for (std::size_t j = vb; j < ve; ++j) {
+      const FillVar& fv = fill_var_[j];
+      if (fv.done) continue;
+      if (fv.bound < best_share * fv.weight * (1.0 - 1e-9) ||
           best_share == kInf) {
-        if (v.bound == kInf)
+        if (fv.bound == kInf)
           throw Error("MaxMin: unconstrained variable (no live resource)");
-        saturate(id, v.bound);
+        saturate(j, component_vars_[j], fv.bound);
+        --unsat_count;
         any_bounded = true;
       }
     }
     if (!any_bounded) {
       // Saturate every variable touching a binding resource.
-      for (const ResourceId r : component_res_) {
-        Res& res = resources_[static_cast<std::size_t>(r)];
-        if (res.weight_sum <= kEps) continue;
-        if (res.remaining / res.weight_sum <= best_share * (1.0 + 1e-9)) {
-          for (const VarId id : res.vars) {
-            const Var& v = vars_[static_cast<std::size_t>(id)];
-            if (v.done) continue;
-            saturate(id, std::min(v.bound, best_share * v.weight));
+      for (std::size_t i = rb; i < re; ++i) {
+        if (fill_res_[i].wsum <= kEps) continue;
+        if (fill_res_[i].rem / fill_res_[i].wsum <= best_share * (1.0 + 1e-9)) {
+          for (const VarId id :
+               resources_[static_cast<std::size_t>(component_res_[i])].vars) {
+            const auto j = static_cast<std::size_t>(
+                vars_[static_cast<std::size_t>(id)].slot);
+            if (fill_var_[j].done) continue;
+            saturate(j, id,
+                     std::min(fill_var_[j].bound,
+                              best_share * fill_var_[j].weight));
+            --unsat_count;
           }
         }
       }
     }
-    unsat_.erase(std::remove_if(unsat_.begin(), unsat_.end(),
-                                [this](VarId id) {
-                                  return vars_[static_cast<std::size_t>(id)]
-                                      .done;
-                                }),
-                 unsat_.end());
   }
 
-  for (std::size_t i = 0; i < component_vars_.size(); ++i) {
-    const VarId id = component_vars_[i];
-    if (vars_[static_cast<std::size_t>(id)].rate != old_rates_[i])
-      changed_.push_back(id);
+  std::vector<VarId>& out = comp_changed_[c];
+  for (std::size_t j = vb; j < ve; ++j) {
+    Var& v = vars_[static_cast<std::size_t>(component_vars_[j])];
+    v.rate = fill_var_[j].rate;
+    if (fill_var_[j].rate != fill_var_[j].prev)
+      out.push_back(component_vars_[j]);
   }
 }
 
@@ -269,7 +297,24 @@ void MaxMin::solve() {
   if (!dirty()) return;
 
   expand_components();
-  fill_components();
+
+  const std::size_t ncomp = components_.size();
+  if (comp_changed_.size() < ncomp) comp_changed_.resize(ncomp);
+  for (std::size_t c = 0; c < ncomp; ++c) comp_changed_[c].clear();
+
+  // Components are disjoint slices of the constraint graph, so the fills
+  // are independent; the executor path and the sequential loop produce the
+  // same rates bit for bit.
+  if (executor_ != nullptr && ncomp >= 2 &&
+      component_vars_.size() >= parallel_threshold_) {
+    executor_->run(ncomp, [this](std::size_t c) { fill_component(c); });
+    ++stats_.parallel_fills;
+  } else {
+    for (std::size_t c = 0; c < ncomp; ++c) fill_component(c);
+  }
+  for (std::size_t c = 0; c < ncomp; ++c)
+    changed_.insert(changed_.end(), comp_changed_[c].begin(),
+                    comp_changed_[c].end());
 
   ++stats_.solves;
   stats_.vars_touched += component_vars_.size();

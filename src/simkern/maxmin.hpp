@@ -19,6 +19,14 @@
 // every flow. set_full_solve(true) disables the component restriction (every
 // solve re-rates the whole system) for differential testing.
 //
+// Components are kept separate all the way through progressive filling:
+// expand_components() records one [res, var) slice per connected component
+// and fill stops at component boundaries. That makes each component's fill
+// a pure function of that component's state alone, so disconnected
+// components can fill on different OS threads (set_executor) and the rates
+// are bit-identical to the sequential fill by construction — the changed
+// list is merged back in component order either way.
+//
 // Membership lists are intrusively bidirectional: each variable stores, for
 // every resource it uses, its index in that resource's member list, so
 // remove_variable is O(degree · log degree) swap-removes instead of
@@ -32,7 +40,9 @@
 //      without another's shrinking.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <vector>
@@ -41,6 +51,16 @@ namespace tir::sim {
 
 using ResourceId = int;
 using VarId = int;
+
+/// Runs `fn(0) .. fn(n-1)` with any schedule it likes, returning only once
+/// every call finished (a full barrier). Implementations may run calls
+/// concurrently; callers guarantee the calls are mutually independent.
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+  virtual void run(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) = 0;
+};
 
 class MaxMin {
  public:
@@ -51,6 +71,7 @@ class MaxMin {
     std::uint64_t solves = 0;         ///< solve() calls that did work
     std::uint64_t vars_touched = 0;   ///< component variables re-solved
     std::uint64_t rate_changes = 0;   ///< variables whose rate moved
+    std::uint64_t parallel_fills = 0;  ///< solves dispatched to the executor
     std::size_t last_component_vars = 0;  ///< size of the last re-solve
     std::size_t max_component_vars = 0;   ///< largest re-solve so far
   };
@@ -98,6 +119,20 @@ class MaxMin {
   void set_full_solve(bool on) { full_solve_ = on; }
   bool full_solve() const { return full_solve_; }
 
+  /// Fills disconnected components through `executor` when a solve touches
+  /// at least two of them and `parallel_threshold()` variables in total.
+  /// nullptr (the default) keeps every fill on the calling thread. Results
+  /// are bit-identical either way — components share no state and the
+  /// changed list is merged in component order.
+  void set_executor(ParallelExecutor* executor) { executor_ = executor; }
+  ParallelExecutor* executor() const { return executor_; }
+
+  /// Minimum total component variables before a multi-component solve is
+  /// handed to the executor; below it the pool wakeup costs more than the
+  /// fill. Affects scheduling only, never rates.
+  void set_parallel_threshold(std::size_t vars) { parallel_threshold_ = vars; }
+  std::size_t parallel_threshold() const { return parallel_threshold_; }
+
   const SolveStats& solve_stats() const { return stats_; }
 
  private:
@@ -107,8 +142,7 @@ class MaxMin {
     bool modified = false;    // queued in modified_resources_
     // solve() scratch:
     bool in_component = false;
-    double remaining = 0.0;
-    double weight_sum = 0.0;
+    std::int32_t slot = -1;  // component-local index during a fill
   };
   struct Var {
     double weight = 1.0;
@@ -118,24 +152,40 @@ class MaxMin {
     bool modified = false;  // queued in modified_vars_ (resource-less vars)
     // solve() scratch:
     bool in_component = false;
-    bool done = false;
+    std::int32_t slot = -1;  // component-local index during a fill
     std::vector<ResourceId> resources;       // deduplicated, sorted
     std::vector<std::uint32_t> positions;    // index in each resource's vars
+  };
+  /// One connected component: slices of component_res_ / component_vars_.
+  struct Component {
+    std::size_t res_begin = 0, res_end = 0;
+    std::size_t var_begin = 0, var_end = 0;
   };
 
   void mark_resource_modified(ResourceId r);
   /// Collects the connected components reachable from the modified sets
-  /// into component_vars_ / component_res_ (or the whole system when
-  /// full_solve_ is on) and clears the modified marks.
+  /// (or every active variable when full_solve_ is on) into
+  /// component_res_ / component_vars_, one Component slice per BFS, and
+  /// clears the modified marks.
+  /// The BFS doubles as the fill setup pass: every member joining a
+  /// component is loaded into the fill_* scratch arrays at its slot
+  /// (= global component position) and resource weight sums accumulate
+  /// edge by edge in discovery order.
   void expand_components();
-  /// Progressive filling restricted to component_vars_ / component_res_.
-  void fill_components();
+  /// Progressive filling of one component, operating on that component's
+  /// [res_begin, res_end) / [var_begin, var_end) slices of the fill_*
+  /// arrays. Slices of different components are disjoint, so fills of
+  /// different components can run concurrently. Changed vars land in
+  /// comp_changed_[c].
+  void fill_component(std::size_t c);
 
   std::vector<Res> resources_;
   std::vector<Var> vars_;
   std::vector<VarId> free_ids_;
   std::size_t active_count_ = 0;
   bool full_solve_ = false;
+  ParallelExecutor* executor_ = nullptr;
+  std::size_t parallel_threshold_ = 32;
 
   // Modified sets (deduplicated through the per-entry `modified` flags).
   std::vector<ResourceId> modified_resources_;
@@ -145,9 +195,28 @@ class MaxMin {
   // nothing.
   std::vector<ResourceId> component_res_;
   std::vector<VarId> component_vars_;
-  std::vector<double> old_rates_;  // parallel to component_vars_
-  std::vector<VarId> unsat_;
+  std::vector<Component> components_;
+  std::vector<std::vector<VarId>> comp_changed_;  // per component, merged
   std::vector<VarId> changed_;
+
+  // Progressive-filling state, slot-indexed (slot = position in
+  // component_res_ / component_vars_): one compact record per member keeps
+  // the fill's round scans on sequential memory. Loaded by
+  // expand_components() during the BFS; each fill_component(c) touches only
+  // its component's slices.
+  struct FillRes {
+    double rem;   // remaining capacity
+    double wsum;  // unsaturated weight sum
+  };
+  struct FillVar {
+    double rate;   // rate being assigned
+    double bound;
+    double weight;
+    double prev;   // rate before this solve
+    bool done;     // saturated flag
+  };
+  std::vector<FillRes> fill_res_;
+  std::vector<FillVar> fill_var_;
 
   SolveStats stats_;
 };

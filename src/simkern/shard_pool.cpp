@@ -1,0 +1,91 @@
+#include "simkern/shard_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace tir::sim {
+
+ShardPool::ShardPool(int shards) {
+  if (shards < 1 || shards > 512)
+    throw SimError("shard pool: shards must be in [1, 512], got " +
+                   std::to_string(shards));
+  workers_.reserve(static_cast<std::size_t>(shards - 1));
+  for (int i = 1; i < shards; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardPool::work(const std::function<void(std::size_t)>& fn,
+                     std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ShardPool::run(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    work(fn, n);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &fn;
+      job_size_ = n;
+      next_index_.store(0, std::memory_order_relaxed);
+      workers_active_ = workers_.size();
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    work(fn, n);  // the calling thread is the last shard
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+    job_ = nullptr;
+  }
+  if (error_) {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      std::swap(error, error_);
+    }
+    std::rethrow_exception(error);
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    work(*job, n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace tir::sim

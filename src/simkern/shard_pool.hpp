@@ -1,0 +1,67 @@
+// Persistent worker-thread pool behind the solver's ParallelExecutor hook.
+//
+// One pool serves one engine (EngineConfig::shards > 1). run() broadcasts a
+// parallel-for job to `shards - 1` workers, the calling thread joins in as
+// the final shard, and everyone pulls indices from a shared atomic counter
+// until the job drains. run() is a conservative synchronisation window: it
+// returns only when every index completed, so one solver epoch never
+// overlaps the next and the simulation stays deterministic regardless of
+// how indices land on threads (which is the whole point — the solver merges
+// results in component order, never in completion order).
+//
+// Workers park on a condition variable between jobs; a generation counter
+// (not a queue) publishes jobs because at most one run() is ever in flight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simkern/maxmin.hpp"
+
+namespace tir::sim {
+
+class ShardPool final : public ParallelExecutor {
+ public:
+  /// Spawns `shards - 1` workers (shards <= 1 spawns none; run() then
+  /// executes inline). Throws SimError for shards outside [1, 512].
+  explicit ShardPool(int shards);
+  ~ShardPool() override;
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int shards() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Executes fn(0..n-1) across the pool plus the calling thread and
+  /// barriers until all calls return. An exception thrown by any call is
+  /// captured and rethrown here (first one wins) after the barrier.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  void worker_loop();
+  void work(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;             // bumps once per run()
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t workers_active_ = 0;
+  bool stopping_ = false;
+  std::atomic<std::size_t> next_index_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tir::sim

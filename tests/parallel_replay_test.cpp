@@ -1,0 +1,553 @@
+// Parallel replay differential battery: the coroutine fast path and the
+// sharded solver are pure optimisations — every observable replay output
+// must be BIT-IDENTICAL to the sequential reference engine. This file
+// locks that contract down across workload shapes (synthetic mixed traffic,
+// acquired LU traces at two job sizes), topologies (hierarchical cluster,
+// dragonfly, fat-tree, torus), fault timelines with recovery, perturbation
+// replicas, and structured failure reports, plus the engine-stat
+// regressions (fast-path counters fire exactly when the knob is on) and
+// direct MaxMin/ShardPool concurrency tests for the sanitizer jobs.
+//
+// Carries the ctest label "parallel"; the CI ThreadSanitizer job runs
+// exactly this label plus "sweep" (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acquisition/acquisition.hpp"
+#include "apps/lu.hpp"
+#include "obs/recorder.hpp"
+#include "platform/cluster.hpp"
+#include "platform/deployment.hpp"
+#include "platform/topology.hpp"
+#include "replay/perturb.hpp"
+#include "replay/scenario.hpp"
+#include "simkern/maxmin.hpp"
+#include "simkern/shard_pool.hpp"
+#include "trace/text_format.hpp"
+#include "trace/trace_set.hpp"
+
+using namespace tir;
+using namespace tir::replay;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// The engine-mode matrix: the sequential engine (row 0) is the
+// bit-exactness reference every other mode is checked against.
+struct EngineMode {
+  const char* label;
+  bool fast_path;
+  int shards;
+};
+constexpr EngineMode kModes[] = {
+    {"sequential", false, 1}, {"fast-path", true, 1},
+    {"shards-only", false, 4}, {"fp+2shards", true, 2},
+    {"fp+4shards", true, 4},  {"fp+8shards", true, 8},
+};
+
+// Replays `spec` under every engine mode and asserts all outputs are
+// bit-identical to the sequential reference: simulated time, per-process
+// finish times, action count, the recorded span streams, and (when
+// requested) the timed trace. Engine stats are compared as invariants, not
+// bitwise: the fast-path and shard counters are exactly what may differ.
+void expect_engine_equivalence(ScenarioSpec spec) {
+  spec.config.record_spans = true;
+
+  std::vector<ReplayResult> results;
+  for (const EngineMode& mode : kModes) {
+    spec.config.fast_path = mode.fast_path;
+    spec.config.shards = mode.shards;
+    results.push_back(run_scenario(spec));
+  }
+
+  const ReplayResult& ref = results[0];
+  ASSERT_TRUE(ref.spans);
+  for (std::size_t m = 1; m < results.size(); ++m) {
+    const ReplayResult& r = results[m];
+    SCOPED_TRACE(kModes[m].label);
+    EXPECT_TRUE(bit_equal(ref.simulated_time, r.simulated_time))
+        << ref.simulated_time << " vs " << r.simulated_time;
+    EXPECT_EQ(ref.actions_replayed, r.actions_replayed);
+    ASSERT_EQ(ref.process_finish_times.size(), r.process_finish_times.size());
+    for (std::size_t p = 0; p < ref.process_finish_times.size(); ++p)
+      EXPECT_TRUE(bit_equal(ref.process_finish_times[p],
+                            r.process_finish_times[p]))
+          << "process " << p;
+    ASSERT_TRUE(r.spans);
+    EXPECT_TRUE(ref.spans->same_streams(*r.spans));
+    ASSERT_EQ(ref.timed_trace.size(), r.timed_trace.size());
+    for (std::size_t i = 0; i < ref.timed_trace.size(); ++i) {
+      EXPECT_TRUE(bit_equal(ref.timed_trace[i].start, r.timed_trace[i].start));
+      EXPECT_TRUE(bit_equal(ref.timed_trace[i].end, r.timed_trace[i].end));
+    }
+  }
+
+  // Stat invariants. The simulated world is identical, so counters that
+  // describe the world (activities, solves, solver work) must agree
+  // everywhere; only the scheduling counters may move, and only as the
+  // knobs say.
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    const auto& stats = results[m].engine_stats;
+    SCOPED_TRACE(kModes[m].label);
+    EXPECT_EQ(ref.engine_stats.activities, stats.activities);
+    EXPECT_EQ(ref.engine_stats.solver_calls, stats.solver_calls);
+    EXPECT_EQ(ref.engine_stats.solver_vars_touched,
+              stats.solver_vars_touched);
+    EXPECT_EQ(ref.engine_stats.flows_rerated, stats.flows_rerated);
+    if (!kModes[m].fast_path) {
+      EXPECT_EQ(0u, stats.fast_path_inline);
+    }
+    if (kModes[m].shards == 1) {
+      EXPECT_EQ(0u, stats.solver_parallel_fills);
+    }
+  }
+  // Shard count must not affect what the fast path does: modes with the
+  // same fast_path setting resume and inline identically.
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    for (std::size_t n = m + 1; n < results.size(); ++n) {
+      if (kModes[m].fast_path != kModes[n].fast_path) continue;
+      SCOPED_TRACE(std::string(kModes[m].label) + " vs " + kModes[n].label);
+      EXPECT_EQ(results[m].engine_stats.resumes,
+                results[n].engine_stats.resumes);
+      EXPECT_EQ(results[m].engine_stats.fast_path_inline,
+                results[n].engine_stats.fast_path_inline);
+      EXPECT_EQ(results[m].engine_stats.fast_path_ready,
+                results[n].engine_stats.fast_path_ready);
+    }
+  }
+}
+
+// Synthetic workload crossing every protocol boundary: eager and
+// rendezvous rings, nonblocking pairs, computes and the collective family.
+std::vector<std::vector<trace::Action>> mixed_actions(int nprocs,
+                                                      int rounds) {
+  using trace::Action;
+  using trace::ActionType;
+  std::vector<std::vector<Action>> per(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p)
+    per[static_cast<std::size_t>(p)].push_back(
+        {p, ActionType::comm_size, -1, 0, 0, nprocs});
+  for (int r = 0; r < rounds; ++r) {
+    const double bytes = r % 2 == 0 ? 16 * 1024.0 : 256 * 1024.0;
+    for (int p = 0; p < nprocs; ++p) {
+      auto& mine = per[static_cast<std::size_t>(p)];
+      mine.push_back({p, ActionType::compute, -1, 2e5, 0, 0});
+      if (p == 0) {
+        mine.push_back({p, ActionType::send, 1, bytes, 0, 0});
+        mine.push_back({p, ActionType::recv, nprocs - 1, 0, 0, 0});
+      } else {
+        mine.push_back({p, ActionType::recv, p - 1, 0, 0, 0});
+        mine.push_back({p, ActionType::send, (p + 1) % nprocs, bytes, 0, 0});
+      }
+      mine.push_back({p, ActionType::isend, (p + 1) % nprocs, 1024, 0, 0});
+      mine.push_back({p, ActionType::irecv, (p + nprocs - 1) % nprocs,
+                      0, 0, 0});
+      mine.push_back({p, ActionType::waitall, -1, 0, 0, 0});
+      mine.push_back({p, ActionType::allreduce, -1, 4096, 1e4, 0});
+      mine.push_back({p, ActionType::bcast, -1, 8192, 0, 0});
+      mine.push_back({p, ActionType::barrier, -1, 0, 0, 0});
+    }
+  }
+  return per;
+}
+
+// All-ranks-at-once eager burst: every rank isends a small message to its
+// neighbour at t = 0 and drains with waitall. The simultaneous injections
+// touch one loopback link per host plus the shared fabric, so the first
+// solve spans many disconnected components — the shape the shard pool
+// exists for.
+std::vector<std::vector<trace::Action>> eager_burst_actions(int nprocs,
+                                                            int rounds) {
+  using trace::Action;
+  using trace::ActionType;
+  std::vector<std::vector<Action>> per(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    auto& mine = per[static_cast<std::size_t>(p)];
+    mine.push_back({p, ActionType::comm_size, -1, 0, 0, nprocs});
+    for (int r = 0; r < rounds; ++r) {
+      mine.push_back({p, ActionType::isend, (p + 1) % nprocs,
+                      16 * 1024.0, 0, 0});
+      mine.push_back({p, ActionType::irecv, (p + nprocs - 1) % nprocs,
+                      0, 0, 0});
+      mine.push_back({p, ActionType::waitall, -1, 0, 0, 0});
+      mine.push_back({p, ActionType::compute, -1, 1e5, 0, 0});
+    }
+  }
+  return per;
+}
+
+ScenarioSpec cluster_spec(int nprocs,
+                          std::vector<std::vector<trace::Action>> actions) {
+  auto platform = std::make_shared<plat::Platform>();
+  const auto hosts =
+      plat::build_cluster(*platform, plat::bordereau_spec(nprocs));
+  ScenarioSpec spec;
+  spec.name = "parallel-battery";
+  spec.platform = platform;
+  spec.process_hosts = hosts;
+  if (!actions.empty())
+    spec.traces = trace::TraceSet::in_memory(std::move(actions));
+  return spec;
+}
+
+// Acquired LU class-S traces (real TAU -> TI acquisition, the paper's
+// pipeline) at a given rank count. Cached per size — acquisition writes
+// real files and is the slow part of this suite.
+trace::TraceSet lu_traces(int nprocs) {
+  static std::map<int, trace::TraceSet>* cache =
+      new std::map<int, trace::TraceSet>();
+  auto it = cache->find(nprocs);
+  if (it == cache->end()) {
+    const fs::path workdir =
+        fs::temp_directory_path() /
+        ("tir_parallel_lu" + std::to_string(nprocs) + "_" +
+         std::to_string(::getpid()));
+    fs::create_directories(workdir);
+    apps::LuConfig cfg;
+    cfg.cls = apps::NpbClass::S;
+    cfg.nprocs = nprocs;
+    cfg.iteration_scale = 0.0;  // clamped to one iteration
+    acq::AcquisitionSpec spec;
+    spec.app = apps::make_lu_app(cfg);
+    spec.workdir = workdir;
+    spec.run_uninstrumented_baseline = false;
+    const auto acquired = acq::run_acquisition(spec);
+    std::vector<std::vector<trace::Action>> actions;
+    for (const auto& file : acquired.ti_files)
+      actions.push_back(trace::read_all(file));
+    fs::remove_all(workdir);
+    it = cache
+             ->emplace(nprocs,
+                       trace::TraceSet::in_memory(std::move(actions)))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Differential battery: engine modes agree bitwise.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReplayTest, MixedTrafficDifferential) {
+  ScenarioSpec spec = cluster_spec(8, mixed_actions(8, 3));
+  spec.config.record_timed_trace = true;
+  expect_engine_equivalence(std::move(spec));
+}
+
+TEST(ParallelReplayTest, EagerBurstDifferential) {
+  expect_engine_equivalence(cluster_spec(16, eager_burst_actions(16, 4)));
+}
+
+TEST(ParallelReplayTest, LuSmallJobDifferential) {
+  ScenarioSpec spec = cluster_spec(4, {});
+  spec.traces = lu_traces(4);
+  expect_engine_equivalence(std::move(spec));
+}
+
+TEST(ParallelReplayTest, LuWiderJobDifferential) {
+  ScenarioSpec spec = cluster_spec(8, {});
+  spec.traces = lu_traces(8);
+  expect_engine_equivalence(std::move(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Topology sweep: one differential per fabric shape. Routing differs wildly
+// (global links, up/down trees, wrap-around meshes), which is exactly what
+// shakes component structure in the solver.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_topology_equivalence(const std::string& topo_spec, int nprocs) {
+  SCOPED_TRACE(topo_spec);
+  auto platform =
+      std::make_shared<plat::Platform>(plat::make_platform(topo_spec));
+  ScenarioSpec spec;
+  spec.name = "topo-differential";
+  spec.platform_label = topo_spec;
+  spec.platform = platform;
+  spec.process_hosts =
+      plat::resolve_deployment_spec("block", *platform, nprocs);
+  spec.traces = trace::TraceSet::in_memory(mixed_actions(nprocs, 2));
+  expect_engine_equivalence(std::move(spec));
+}
+
+}  // namespace
+
+TEST(ParallelReplayTest, DragonflyDifferential) {
+  expect_topology_equivalence("dragonfly:groups=4,routers=2,hosts=2", 12);
+}
+
+TEST(ParallelReplayTest, FatTreeDifferential) {
+  expect_topology_equivalence("fattree:k=4", 12);
+}
+
+TEST(ParallelReplayTest, TorusDifferential) {
+  expect_topology_equivalence("torus:dims=2x2x2,hosts=2", 12);
+}
+
+// ---------------------------------------------------------------------------
+// Fault timelines and perturbation replicas.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReplayTest, FaultTimelineDifferential) {
+  ScenarioSpec spec = cluster_spec(8, mixed_actions(8, 4));
+
+  FaultSpec host_fault;
+  host_fault.kind = FaultSpec::Kind::host;
+  host_fault.id = 2;
+  host_fault.at_time = 0.001;
+  host_fault.until_time = 0.004;  // recovers mid-run
+  host_fault.compute_factor = 0.2;
+  spec.faults.push_back(host_fault);
+
+  FaultSpec link_flaps;
+  link_flaps.kind = FaultSpec::Kind::link;
+  link_flaps.id = 0;
+  link_flaps.at_time = 0.0005;
+  link_flaps.until_time = 0.0015;
+  link_flaps.repeat = 3;  // a flap train
+  link_flaps.period = 0.002;
+  link_flaps.bandwidth_factor = 0.25;
+  link_flaps.latency_factor = 4.0;
+  spec.faults.push_back(link_flaps);
+
+  expect_engine_equivalence(std::move(spec));
+}
+
+TEST(ParallelReplayTest, PerturbationReplicaDifferential) {
+  ScenarioSpec spec = cluster_spec(8, mixed_actions(8, 3));
+
+  PerturbSpec perturb;
+  perturb.host_noise = 0.1;
+  perturb.link_bw_noise = 0.1;
+  perturb.fault_rate = 100.0;
+  perturb.fault_horizon = 0.01;
+  perturb.fault_duration = 0.002;
+
+  for (int replica = 0; replica < 2; ++replica) {
+    SCOPED_TRACE("replica " + std::to_string(replica));
+    ScenarioSpec replica_spec = spec;
+    replica_spec.faults = expand_perturbation(
+        perturb, *spec.platform, /*seed=*/7, replica, nullptr);
+    expect_engine_equivalence(std::move(replica_spec));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structured reports: a failing replay must fail identically under every
+// engine — same status, same stop time, same coverage, same per-rank
+// diagnostics (the deadlock report is part of the determinism contract).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReplayTest, DeadlockReportDifferential) {
+  using trace::Action;
+  using trace::ActionType;
+  // Ranks 0 and 1 both receive first: a classic head-to-head deadlock,
+  // reached only after some real progress (computes + an eager exchange).
+  std::vector<std::vector<Action>> actions(2);
+  for (int p = 0; p < 2; ++p) {
+    actions[static_cast<std::size_t>(p)] = {
+        {p, ActionType::comm_size, -1, 0, 0, 2},
+        {p, ActionType::compute, -1, 1e6, 0, 0},
+        {p, ActionType::send, 1 - p, 1024, 0, 0},
+        {p, ActionType::recv, 1 - p, 0, 0, 0},
+        {p, ActionType::recv, 1 - p, 0, 0, 0},  // never sent: deadlock
+    };
+  }
+  ScenarioSpec spec = cluster_spec(2, std::move(actions));
+
+  std::vector<ReplayReport> reports;
+  for (const EngineMode& mode : kModes) {
+    spec.config.fast_path = mode.fast_path;
+    spec.config.shards = mode.shards;
+    reports.push_back(run_scenario_report(spec));
+  }
+
+  const ReplayReport& ref = reports[0];
+  EXPECT_EQ(ReplayStatus::deadlock, ref.status);
+  EXPECT_FALSE(ref.diagnostics.empty());
+  for (std::size_t m = 1; m < reports.size(); ++m) {
+    const ReplayReport& r = reports[m];
+    SCOPED_TRACE(kModes[m].label);
+    EXPECT_EQ(ref.status, r.status);
+    EXPECT_TRUE(bit_equal(ref.sim_time, r.sim_time));
+    EXPECT_TRUE(bit_equal(ref.coverage, r.coverage));
+    EXPECT_EQ(ref.error, r.error);
+    EXPECT_EQ(ref.diagnostics, r.diagnostics);
+    EXPECT_EQ(ref.result.actions_replayed, r.result.actions_replayed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-stat regressions: the counters fire exactly when the knob is on.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReplayTest, FastPathCountersFireOnEagerTraffic) {
+  // Eager-send-heavy trace: rank 0 pipelines 16 KiB messages (well under
+  // the 64 KiB eager threshold) with tiny computes in between while rank 1
+  // sits in one long compute before draining. The sender's buffer-copy and
+  // compute completions are the next global event every time — the
+  // canonical inline-completable awaits.
+  using trace::Action;
+  using trace::ActionType;
+  constexpr int kMsgs = 16;
+  std::vector<std::vector<Action>> actions(2);
+  actions[0].push_back({0, ActionType::comm_size, -1, 0, 0, 2});
+  actions[1].push_back({1, ActionType::comm_size, -1, 0, 0, 2});
+  actions[1].push_back({1, ActionType::compute, -1, 5e9, 0, 0});
+  for (int m = 0; m < kMsgs; ++m) {
+    actions[0].push_back({0, ActionType::send, 1, 16 * 1024.0, 0, 0});
+    actions[0].push_back({0, ActionType::compute, -1, 1e4, 0, 0});
+    actions[1].push_back({1, ActionType::recv, 0, 0, 0, 0});
+  }
+  ScenarioSpec spec = cluster_spec(2, std::move(actions));
+
+  spec.config.fast_path = true;
+  const ReplayResult on = run_scenario(spec);
+  EXPECT_GT(on.engine_stats.fast_path_inline, 0u)
+      << "fast path never inlined a completion on eager traffic";
+
+  spec.config.fast_path = false;
+  const ReplayResult off = run_scenario(spec);
+  EXPECT_EQ(0u, off.engine_stats.fast_path_inline);
+  EXPECT_EQ(0u, off.engine_stats.fast_path_ready);
+
+  // The avoided work is visible: every inlined completion is a coroutine
+  // resume the sequential engine had to pay for.
+  EXPECT_LT(on.engine_stats.resumes, off.engine_stats.resumes);
+  EXPECT_TRUE(bit_equal(on.simulated_time, off.simulated_time));
+}
+
+TEST(ParallelReplayTest, ShardPoolEngagesOnWideBursts) {
+  // 48 simultaneous eager injections spread across 48 loopback components:
+  // comfortably past the engagement threshold (>= 2 components, >= 32
+  // component variables in one solve).
+  ScenarioSpec spec = cluster_spec(48, eager_burst_actions(48, 2));
+
+  spec.config.shards = 8;
+  const ReplayResult sharded = run_scenario(spec);
+  EXPECT_GT(sharded.engine_stats.solver_parallel_fills, 0u)
+      << "shard pool never engaged on a wide burst";
+
+  spec.config.shards = 1;
+  const ReplayResult sequential = run_scenario(spec);
+  EXPECT_EQ(0u, sequential.engine_stats.solver_parallel_fills);
+  EXPECT_TRUE(bit_equal(sharded.simulated_time, sequential.simulated_time));
+}
+
+// ---------------------------------------------------------------------------
+// Direct concurrency tests — the pieces the TSan job exists to watch.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelReplayTest, ShardPoolRunsEveryIndexExactlyOnce) {
+  sim::ShardPool pool(8);
+  ASSERT_EQ(8, pool.shards());
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = static_cast<std::size_t>(1 + (round * 37) % 200);
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<std::size_t> total{0};
+    pool.run(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(1, hits[i].load()) << "index " << i << " round " << round;
+      expected += i;
+    }
+    EXPECT_EQ(expected, total.load());
+  }
+}
+
+TEST(ParallelReplayTest, ShardPoolRethrowsWorkerExceptions) {
+  sim::ShardPool pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("shard 13");
+                        }),
+               std::runtime_error);
+  // The pool must survive a throwing job: the next run still works.
+  std::atomic<int> count{0};
+  pool.run(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(32, count.load());
+}
+
+TEST(ParallelReplayTest, MaxMinExecutorMatchesSequentialBitwise) {
+  // Two solver instances fed identical mutations: one fills sequentially,
+  // one through an 8-way pool with the engagement threshold forced low.
+  // Rates must match bitwise — the executor only changes which OS thread
+  // runs a component's fill, never its arithmetic.
+  sim::ShardPool pool(8);
+  sim::MaxMin seq, par;
+  par.set_executor(&pool);
+  par.set_parallel_threshold(2);
+
+  // 6 disconnected components x 12 variables, mixed weights and bounds.
+  constexpr int kComponents = 6, kResPer = 3, kVarsPer = 12;
+  std::vector<std::vector<sim::ResourceId>> res_s(kComponents), res_p(
+                                                      kComponents);
+  for (int c = 0; c < kComponents; ++c) {
+    for (int r = 0; r < kResPer; ++r) {
+      const double cap = 100.0 + 17.0 * c + 3.0 * r;
+      res_s[c].push_back(seq.add_resource(cap));
+      res_p[c].push_back(par.add_resource(cap));
+    }
+  }
+  std::vector<sim::VarId> vars_s, vars_p;
+  for (int c = 0; c < kComponents; ++c) {
+    for (int v = 0; v < kVarsPer; ++v) {
+      const double weight = 1.0 + 0.25 * ((v + c) % 5);
+      const double bound =
+          v % 4 == 0 ? 7.5 + c : sim::MaxMin::kInf;
+      // Each variable crosses one or two of its component's resources.
+      std::vector<sim::ResourceId> rs{res_s[c][v % kResPer]};
+      std::vector<sim::ResourceId> rp{res_p[c][v % kResPer]};
+      if (v % 3 == 0) {
+        rs.push_back(res_s[c][(v + 1) % kResPer]);
+        rp.push_back(res_p[c][(v + 1) % kResPer]);
+      }
+      vars_s.push_back(seq.add_variable(weight, rs, bound));
+      vars_p.push_back(par.add_variable(weight, rp, bound));
+    }
+  }
+
+  seq.solve();
+  par.solve();
+  ASSERT_GT(par.solve_stats().parallel_fills, 0u);
+  for (std::size_t i = 0; i < vars_s.size(); ++i)
+    EXPECT_TRUE(bit_equal(seq.rate(vars_s[i]), par.rate(vars_p[i])))
+        << "var " << i;
+
+  // Incremental mutations keep agreeing (remove every third variable, then
+  // degrade one resource per component).
+  for (std::size_t i = 0; i < vars_s.size(); i += 3) {
+    seq.remove_variable(vars_s[i]);
+    par.remove_variable(vars_p[i]);
+  }
+  for (int c = 0; c < kComponents; ++c) {
+    seq.set_capacity(res_s[c][0], 40.0 + c);
+    par.set_capacity(res_p[c][0], 40.0 + c);
+  }
+  seq.solve();
+  par.solve();
+  for (std::size_t i = 0; i < vars_s.size(); ++i) {
+    if (i % 3 == 0) continue;
+    EXPECT_TRUE(bit_equal(seq.rate(vars_s[i]), par.rate(vars_p[i])))
+        << "var " << i << " after mutations";
+  }
+}

@@ -18,6 +18,10 @@
 //   --stats                   print engine counters (solver work, events)
 //   --full-solve              disable the incremental network solver
 //                             (reference path for differential testing)
+//   --fast-path               run deterministic action chains inline without
+//                             coroutine switches (bit-identical results)
+//   --shards N                solve disconnected network components on N OS
+//                             threads (bit-identical results; default 1)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -38,7 +42,7 @@ namespace {
                "--deployment FILE|block|roundrobin TRACE...|TRACEDIR \n"
                "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
                "  [--timed-trace FILE] [--profile] [--efficiency X]\n"
-               "  [--stats] [--full-solve]\n",
+               "  [--stats] [--full-solve] [--fast-path] [--shards N]\n",
                argv0);
   std::exit(2);
 }
@@ -94,6 +98,15 @@ int run(int argc, char** argv) {
       want_stats = true;
     } else if (arg == "--full-solve") {
       config.full_solve = true;
+    } else if (arg == "--fast-path") {
+      config.fast_path = true;
+    } else if (arg == "--shards") {
+      const std::string text = next();
+      const double value = parse_double_flag("--shards", text);
+      if (value < 1 || value > 512 || value != static_cast<int>(value))
+        throw ParseError("invalid value '" + text +
+                         "' for --shards (integer in [1, 512])");
+      config.shards = static_cast<int>(value);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -132,6 +145,10 @@ int run(int argc, char** argv) {
     std::printf("  max component size:     %llu\n",
                 u64(st.solver_component_size_max));
     std::printf("  flows re-rated:         %llu\n", u64(st.flows_rerated));
+    std::printf("  fast-path inline:       %llu\n", u64(st.fast_path_inline));
+    std::printf("  fast-path ready:        %llu\n", u64(st.fast_path_ready));
+    std::printf("  parallel solver fills:  %llu\n",
+                u64(st.solver_parallel_fills));
   }
   if (want_profile) {
     const auto profile = replay::Profile::from_timed_trace(result.timed_trace);
