@@ -44,5 +44,12 @@ echo "== Figure 9 parallel engines -> $OUT/BENCH_fig9_parallel.txt"
 TIR_SCALE="${TIR_SCALE:-0.05}" "$BUILD/bench/bench_fig9_parallel" \
   | tee "$OUT/BENCH_fig9_parallel.txt"
 
+# Replay-as-a-service soak: warm memo hits vs cold replays (>= 10x), RSS
+# bounded, responses bit-identical. Also recordable standalone via the
+# bench-serve-record cmake target.
+echo "== replay-as-a-service soak -> $OUT/BENCH_serve.txt"
+TIR_SCALE="${TIR_SCALE:-0.05}" "$BUILD/bench/bench_serve" \
+  | tee "$OUT/BENCH_serve.txt"
+
 echo "== recorded: $OUT/BENCH_kernel.json $OUT/BENCH_fig9.txt" \
-     "$OUT/BENCH_fig9_parallel.txt"
+     "$OUT/BENCH_fig9_parallel.txt $OUT/BENCH_serve.txt"

@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tir::obs {
+
+namespace {
+
+std::size_t bucket_for(double seconds) {
+  if (seconds < 1e-6) return 0;
+  const int exp = static_cast<int>(std::ceil(std::log2(seconds / 1e-6)));
+  return std::min<std::size_t>(static_cast<std::size_t>(std::max(exp, 0)),
+                               47);
+}
+
+double bucket_upper(std::size_t i) {
+  return 1e-6 * std::pow(2.0, static_cast<double>(i));
+}
+
+}  // namespace
+
+void Histogram::record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  ++buckets_[bucket_for(seconds)];
+  ++count_;
+  total_ += seconds;
+  if (seconds > max_) max_ = seconds;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target && buckets_[i] > 0)
+      return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%s p50=%s p90=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                format_duration(mean()).c_str(),
+                format_duration(percentile(0.50)).c_str(),
+                format_duration(percentile(0.90)).c_str(),
+                format_duration(percentile(0.99)).c_str(),
+                format_duration(max_).c_str());
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[32];
+  if (seconds < 1e-6)
+    std::snprintf(buf, sizeof buf, "%.0fns", seconds * 1e9);
+  else if (seconds < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  else if (seconds < 1.0)
+    std::snprintf(buf, sizeof buf, "%.1fms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  return buf;
+}
+
+}  // namespace tir::obs

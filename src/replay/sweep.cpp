@@ -1,6 +1,7 @@
 #include "replay/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -27,11 +28,13 @@ namespace {
 void run_one(const ScenarioSpec& spec, SweepResult& slot) {
   slot.name = spec.name;
   slot.platform = spec.platform_label;
+  const auto t0 = std::chrono::steady_clock::now();
   try {
     ReplayReport report = run_scenario_report(spec);
     slot.status = report.status;
     slot.ok = report.status == ReplayStatus::ok;
     slot.coverage = report.coverage;
+    slot.sim_time = report.sim_time;
     slot.error = std::move(report.error);
     slot.diagnostics = std::move(report.diagnostics);
     slot.replay = std::move(report.result);
@@ -46,6 +49,9 @@ void run_one(const ScenarioSpec& spec, SweepResult& slot) {
     slot.ok = false;
     slot.error = "unknown exception";
   }
+  slot.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 }  // namespace

@@ -38,6 +38,8 @@ struct SweepResult {
   bool ok = false;         ///< status == ReplayStatus::ok
   ReplayStatus status = ReplayStatus::failed;
   double coverage = 0.0;   ///< fraction of trace actions replayed
+  double sim_time = 0.0;   ///< report sim_time (deadlocks included)
+  double wall_seconds = 0.0;  ///< wall-clock spent inside run_scenario
   std::string error;       ///< exception message when !ok
   std::vector<std::string> diagnostics;  ///< per-blocked-rank (deadlock)
   ReplayResult replay;     ///< full when ok, partial otherwise

@@ -1,0 +1,80 @@
+#include "trace/digest.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace tir::trace {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Two independently-seeded 64-bit lanes folded word by word. The lanes see
+/// the same words through different mixing chains, so a collision must fool
+/// both simultaneously.
+struct Hash128 {
+  std::uint64_t hi = 0x6a09e667f3bcc908ull;
+  std::uint64_t lo = 0xbb67ae8584caa73bull;
+
+  void mix(std::uint64_t word) {
+    hi = mix64(hi ^ word);
+    lo = mix64(lo + word * 0x100000001b3ull + 1);
+  }
+
+  void mix_double(double v) {
+    // Canonicalise the one value with two bit patterns so a codec emitting
+    // -0.0 cannot split the digest.
+    if (v == 0.0) v = 0.0;
+    mix(std::bit_cast<std::uint64_t>(v));
+  }
+};
+
+}  // namespace
+
+std::string Digest::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf, 32);
+}
+
+Digest digest(const TraceSet& traces) {
+  Hash128 h;
+  const int nprocs = traces.nprocs();
+  h.mix(static_cast<std::uint64_t>(nprocs));
+  for (int pid = 0; pid < nprocs; ++pid) {
+    const std::vector<Action>& stream = traces.actions(pid);
+    h.mix(static_cast<std::uint64_t>(pid));
+    h.mix(static_cast<std::uint64_t>(stream.size()));
+    for (const Action& a : stream) {
+      // a.pid is omitted on purpose: the stream index is the identity. A
+      // merged file stores explicit pids and a split compact file factors
+      // them out — same logical trace, and the decoder already routed each
+      // action to its stream.
+      h.mix(static_cast<std::uint64_t>(a.type));
+      h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.partner)));
+      h.mix_double(a.volume);
+      h.mix_double(a.volume2);
+      h.mix(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(a.comm_size)));
+    }
+  }
+  return Digest{h.hi, h.lo};
+}
+
+std::uint64_t decoded_bytes(const TraceSet& traces) {
+  std::uint64_t bytes = 0;
+  for (int pid = 0; pid < traces.nprocs(); ++pid)
+    bytes += traces.actions(pid).size() * sizeof(Action) +
+             sizeof(std::vector<Action>);
+  return bytes;
+}
+
+}  // namespace tir::trace

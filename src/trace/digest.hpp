@@ -1,0 +1,43 @@
+// Content-addressed trace identity.
+//
+// A Digest names the *logical* content of a TraceSet: the per-process
+// action streams after decoding, independent of how they sit on disk. The
+// same trace encoded as text, binary or compact — or split per process vs
+// merged into one file — hashes to the same 128 bits, which is what lets
+// the serving layer decode a hot trace exactly once and memoise replay
+// results across encodings (src/serve/trace_cache.hpp). The codec fuzz
+// suite already guarantees the three formats round-trip actions exactly;
+// the digest rides on that invariant and the service tests lock it down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_set.hpp"
+
+namespace tir::trace {
+
+/// 128-bit content hash. Not cryptographic — it keys caches, it does not
+/// defend against adversarial collisions.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest&) const = default;
+  bool operator<(const Digest& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 lowercase hex characters.
+  std::string hex() const;
+};
+
+/// Hashes every decoded action stream (forces a decode of every file).
+/// Deterministic across encodings, layouts, processes and runs.
+Digest digest(const TraceSet& traces);
+
+/// Decoded in-memory footprint in bytes (forces a decode): what a cache
+/// entry holding this TraceSet keeps resident.
+std::uint64_t decoded_bytes(const TraceSet& traces);
+
+}  // namespace tir::trace

@@ -1,10 +1,12 @@
-// Shared scenario-list parsing for tir-sweep and tir-mc.
+// Shared scenario-list parsing for tir-sweep, tir-mc and tir-serve.
 //
 // A list file holds one scenario per non-comment line, as whitespace-
 // separated key=value pairs; a line starting with `default` sets defaults
 // for every later scenario. Relative paths resolve against the list file's
-// directory; platforms, deployments and trace sets are cached by path so a
-// sweep decodes each input exactly once.
+// directory; platforms, deployments and trace sets are cached so a sweep
+// loads/decodes each input exactly once — trace sets through the
+// content-addressed serve::TraceCache, so `ti`, `./ti` and the absolute
+// spelling of the same directory share one decode.
 //
 // Keys:
 //   name=LABEL             row label (default scenario-<index>)
@@ -15,7 +17,7 @@
 //   eager=BYTES            eager/rendezvous switch
 //   collectives=flat|binomial
 //   efficiency=X           compute-rate scale
-//   fault=SPEC,...         fault timeline events (see parse_fault below):
+//   fault=SPEC,...         fault timeline events (see serve::parse_fault):
 //                          host:NAME:FACTOR@TIMES or
 //                          link:NAME:BW[:LAT]@TIMES, where TIMES is
 //                          START[-END][xN][/PERIOD] — `-END` recovers the
@@ -30,151 +32,36 @@
 //   fastpath=on|off        coroutine fast path (bit-identical results)
 //   shards=N               solver shard threads, [1, 512] (bit-identical)
 //
-// Fault targets, perturbation parameters and engine knobs are validated
-// here, at parse time — a typo fails with the scenario name attached
-// instead of mid-sweep inside a worker thread.
+// The parsing/building machinery lives in src/serve/scenario_build.* so a
+// daemon request and a sweep-list row construct scenarios through exactly
+// one code path; this header keeps the list-file reader and re-exports the
+// serve names under tir::tools for the CLI tools.
 #pragma once
 
-#include <cstdint>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "platform/deployment.hpp"
-#include "platform/platform_file.hpp"
-#include "platform/topology.hpp"
-#include "replay/perturb.hpp"
-#include "replay/scenario.hpp"
+#include "serve/scenario_build.hpp"
+#include "serve/trace_cache.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
-#include "support/units.hpp"
-#include "trace/trace_set.hpp"
 
 namespace tir::tools {
 
 namespace fs = std::filesystem;
 
-inline int parse_int(const std::string& what, const std::string& s) {
-  try {
-    std::size_t used = 0;
-    const int v = std::stoi(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError(what + ": expected an integer, got '" + s + "'");
-  }
-}
-
-inline double parse_double(const std::string& what, const std::string& s) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError(what + ": expected a number, got '" + s + "'");
-  }
-}
-
-inline std::uint64_t parse_u64(const std::string& what, const std::string& s) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long v = std::stoull(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError(what + ": expected a non-negative integer, got '" + s +
-                     "'");
-  }
-}
-
-struct KeyValues {
-  std::map<std::string, std::string> kv;
-
-  const std::string* find(const std::string& key) const {
-    const auto it = kv.find(key);
-    return it == kv.end() ? nullptr : &it->second;
-  }
-};
-
-/// Shared immutable inputs, cached by path so a sweep loads/decodes once.
-struct InputCache {
-  fs::path base;  ///< list-file directory for relative paths
-  std::map<std::string, std::shared_ptr<const plat::Platform>> platforms;
-  std::map<std::string, plat::Deployment> deployments;
-  std::map<std::string, trace::TraceSet> trace_sets;
-
-  fs::path resolve(const std::string& path) const {
-    const fs::path p(path);
-    return p.is_absolute() ? p : base / p;
-  }
-
-  std::shared_ptr<const plat::Platform> platform(const std::string& spec) {
-    auto it = platforms.find(spec);
-    if (it == platforms.end()) {
-      // Topology specs build through the registry; anything else is a file
-      // path and resolves against the list-file directory.
-      const std::string head{str::trim(spec.substr(0, spec.find(':')))};
-      auto built = plat::is_topology(head)
-                       ? plat::make_platform(spec)
-                       : plat::load_platform_file(resolve(spec).string());
-      it = platforms
-               .emplace(spec, std::make_shared<const plat::Platform>(
-                                  std::move(built)))
-               .first;
-    }
-    return it->second;
-  }
-
-  const plat::Deployment& deployment(const std::string& file) {
-    auto it = deployments.find(file);
-    if (it == deployments.end())
-      it = deployments
-               .emplace(file,
-                        plat::load_deployment_file(resolve(file).string()))
-               .first;
-    return it->second;
-  }
-
-  trace::TraceSet traces(const std::string& spec, bool merged) {
-    const std::string key = (merged ? "merged:" : "split:") + spec;
-    auto it = trace_sets.find(key);
-    if (it != trace_sets.end()) return it->second;
-
-    trace::TraceSet set;
-    if (merged) {
-      // merged=FILE:N — one file carrying N process streams.
-      const auto colon = spec.rfind(':');
-      if (colon == std::string::npos)
-        throw Error("merged=" + spec + ": expected FILE:NPROCS");
-      set = trace::TraceSet::merged_file(
-          resolve(spec.substr(0, colon)),
-          parse_int("merged=" + spec, spec.substr(colon + 1)));
-    } else {
-      std::vector<fs::path> files;
-      for (const auto& token : str::split(spec, ',')) {
-        const fs::path p = resolve(std::string(token));
-        if (fs::is_directory(p)) {
-          for (int pid = 0;; ++pid) {
-            const fs::path f =
-                p / ("SG_process" + std::to_string(pid) + ".trace");
-            if (!fs::exists(f)) break;
-            files.push_back(f);
-          }
-        } else {
-          files.push_back(p);
-        }
-      }
-      set = trace::TraceSet::per_process_files(std::move(files));
-    }
-    trace_sets.emplace(key, set);
-    return set;
-  }
-};
+using serve::build_scenario;
+using serve::InputResolver;
+using serve::KeyValues;
+using serve::parse_double;
+using serve::parse_fault;
+using serve::parse_int;
+using serve::parse_perturb;
+using serve::parse_u64;
+using serve::SweepEntry;
 
 inline KeyValues parse_tokens(const std::string& line,
                               const fs::path& list_file, std::size_t line_no) {
@@ -191,213 +78,20 @@ inline KeyValues parse_tokens(const std::string& line,
   return out;
 }
 
-/// Parses one fault entry: host:NAME:FACTOR@TIMES or
-/// link:NAME:BWFACTOR[:LATFACTOR]@TIMES, with TIMES =
-/// START[-END][xN][/PERIOD]. Examples:
-///   host:node-3:0.5@10        degrade at t=10, permanent
-///   link:backbone:0.1@5-8     outage over [5, 8), then heal
-///   link:up0:0.2@5-6x4/10     flap train: four 1 s outages, 10 s apart
-inline replay::FaultSpec parse_fault(const std::string& scenario,
-                                     const std::string& entry) {
-  const std::string what = "scenario '" + scenario + "': fault '" + entry +
-                           "'";
-  const auto at = entry.rfind('@');
-  if (at == std::string::npos)
-    throw Error(what + ": missing @TIME");
-  replay::FaultSpec fault;
-
-  // TIMES = START[-END][xN][/PERIOD], parsed back to front.
-  std::string times = entry.substr(at + 1);
-  if (const auto slash = times.find('/'); slash != std::string::npos) {
-    fault.period = parse_double(what + " period", times.substr(slash + 1));
-    times = times.substr(0, slash);
-  }
-  if (const auto x = times.find('x'); x != std::string::npos) {
-    fault.repeat = parse_int(what + " repeat", times.substr(x + 1));
-    times = times.substr(0, x);
-  }
-  // A '-' splits START-END unless it is an exponent sign ("1e-3").
-  auto dash = std::string::npos;
-  for (std::size_t i = 1; i < times.size(); ++i)
-    if (times[i] == '-' && times[i - 1] != 'e' && times[i - 1] != 'E') {
-      dash = i;
-      break;
-    }
-  if (dash != std::string::npos) {
-    fault.until_time = parse_double(what + " until", times.substr(dash + 1));
-    times = times.substr(0, dash);
-  }
-  fault.at_time = parse_double(what + " time", times);
-
-  // Named, not a temporary: split() returns views into this string and a
-  // range-for does not lifetime-extend its range initializer.
-  const std::string body = entry.substr(0, at);
-  std::vector<std::string> parts;
-  for (const auto& p : str::split(body, ':'))
-    parts.emplace_back(p);
-  if (parts.size() < 3) throw Error(what + ": expected kind:NAME:FACTOR");
-  fault.target = parts[1];
-  if (parts[0] == "host") {
-    if (parts.size() != 3) throw Error(what + ": host takes one factor");
-    fault.kind = replay::FaultSpec::Kind::host;
-    fault.compute_factor = parse_double(what + " factor", parts[2]);
-  } else if (parts[0] == "link") {
-    if (parts.size() > 4) throw Error(what + ": too many link factors");
-    fault.kind = replay::FaultSpec::Kind::link;
-    fault.bandwidth_factor = parse_double(what + " bandwidth", parts[2]);
-    if (parts.size() == 4)
-      fault.latency_factor = parse_double(what + " latency", parts[3]);
-  } else {
-    throw Error(what + ": kind must be host or link");
-  }
-  return fault;
-}
-
-/// Parses perturb=K:V,... into a PerturbSpec (validated by the caller via
-/// replay::validate_perturbation once the scenario name is known).
-inline replay::PerturbSpec parse_perturb(const std::string& scenario,
-                                         const std::string& value) {
-  const std::string what = "scenario '" + scenario + "': perturb";
-  replay::PerturbSpec spec;
-  for (const auto& token : str::split(value, ',')) {
-    const std::string pair(token);
-    const auto colon = pair.find(':');
-    if (colon == std::string::npos || colon == 0)
-      throw Error(what + ": expected key:value, got '" + pair + "'");
-    const std::string key = pair.substr(0, colon);
-    const double v = parse_double(what + " " + key, pair.substr(colon + 1));
-    if (key == "hostnoise")
-      spec.host_noise = v;
-    else if (key == "bwnoise")
-      spec.link_bw_noise = v;
-    else if (key == "latnoise")
-      spec.link_lat_noise = v;
-    else if (key == "rate")
-      spec.fault_rate = v;
-    else if (key == "horizon")
-      spec.fault_horizon = v;
-    else if (key == "duration")
-      spec.fault_duration = v;
-    else if (key == "severity")
-      spec.fault_severity = v;
-    else if (key == "min")
-      spec.min_factor = v;
-    else if (key == "max")
-      spec.max_factor = v;
-    else
-      throw Error(what + ": unknown key '" + key + "'");
-  }
-  return spec;
-}
-
-/// One parsed list row: the deterministic scenario plus its (optional)
-/// stochastic envelope.
-struct SweepEntry {
-  replay::ScenarioSpec spec;
-  replay::PerturbSpec perturb;
-  bool has_perturb = false;
-  int mc = 0;               ///< Monte-Carlo replicas; 0 = deterministic row
-  std::uint64_t seed = 1;   ///< replica streams derive from this
-};
-
-inline SweepEntry build_scenario(const KeyValues& kv, InputCache& cache,
-                                 std::size_t index) {
-  SweepEntry entry;
-  replay::ScenarioSpec& spec = entry.spec;
-  if (const auto* name = kv.find("name"))
-    spec.name = *name;
-  else
-    spec.name = "scenario-" + std::to_string(index);
-
-  const auto* platform = kv.find("platform");
-  if (platform == nullptr)
-    throw Error("scenario '" + spec.name + "': missing platform=");
-  spec.platform = cache.platform(*platform);
-  spec.platform_label = *platform;
-
-  if (const auto* merged = kv.find("merged")) {
-    spec.traces = cache.traces(*merged, /*merged=*/true);
-  } else if (const auto* traces = kv.find("traces")) {
-    spec.traces = cache.traces(*traces, /*merged=*/false);
-  } else {
-    throw Error("scenario '" + spec.name + "': missing traces= or merged=");
-  }
-
-  const auto* deployment = kv.find("deployment");
-  if (deployment == nullptr)
-    throw Error("scenario '" + spec.name + "': missing deployment=");
-  if (*deployment == "block" || *deployment == "roundrobin" ||
-      *deployment == "rr")
-    spec.process_hosts = plat::resolve_deployment_spec(
-        *deployment, *spec.platform, spec.traces.nprocs());
-  else
-    spec.process_hosts =
-        cache.deployment(*deployment).resolve(*spec.platform);
-
-  if (const auto* eager = kv.find("eager"))
-    spec.config.mpi.eager_threshold = units::parse_bytes(*eager);
-  if (const auto* coll = kv.find("collectives")) {
-    if (*coll == "flat")
-      spec.config.mpi.collectives = mpi::CollectiveAlgo::flat;
-    else if (*coll == "binomial")
-      spec.config.mpi.collectives = mpi::CollectiveAlgo::binomial;
-    else
-      throw Error("scenario '" + spec.name + "': unknown collectives '" +
-                  *coll + "'");
-  }
-  if (const auto* eff = kv.find("efficiency"))
-    spec.config.compute_efficiency =
-        parse_double("scenario '" + spec.name + "': efficiency", *eff);
-  if (const auto* fastpath = kv.find("fastpath")) {
-    if (*fastpath == "on")
-      spec.config.fast_path = true;
-    else if (*fastpath == "off")
-      spec.config.fast_path = false;
-    else
-      throw Error("scenario '" + spec.name + "': fastpath must be on or off" +
-                  ", got '" + *fastpath + "'");
-  }
-  if (const auto* shards = kv.find("shards")) {
-    spec.config.shards =
-        parse_int("scenario '" + spec.name + "': shards", *shards);
-    if (spec.config.shards < 1 || spec.config.shards > 512)
-      throw Error("scenario '" + spec.name + "': shards must be in [1, 512]" +
-                  ", got '" + *shards + "'");
-  }
-  if (const auto* fault = kv.find("fault"))
-    for (const auto& token : str::split(*fault, ','))
-      spec.faults.push_back(parse_fault(spec.name, std::string(token)));
-  if (const auto* perturb = kv.find("perturb")) {
-    entry.perturb = parse_perturb(spec.name, *perturb);
-    entry.has_perturb = true;
-    replay::validate_perturbation(entry.perturb,
-                                  "scenario '" + spec.name + "': perturb");
-  }
-  if (const auto* mc = kv.find("mc")) {
-    entry.mc = parse_int("scenario '" + spec.name + "': mc", *mc);
-    if (entry.mc < 1)
-      throw Error("scenario '" + spec.name + "': mc must be >= 1");
-  }
-  if (const auto* seed = kv.find("seed"))
-    entry.seed = parse_u64("scenario '" + spec.name + "': seed", *seed);
-
-  // Fail fast: resolve fault targets against the platform now, so an
-  // unknown host/link name is reported with the scenario it came from
-  // instead of throwing mid-replay inside a worker.
-  replay::validate_faults(spec);
-  return entry;
-}
-
-/// Loads a whole list file (defaults, comments, caching). Throws IoError /
-/// ParseError / Error with file:line or scenario-name context.
-inline std::vector<SweepEntry> load_sweep_list(const fs::path& list_file) {
+/// Loads a whole list file (defaults, comments, caching) through `cache`.
+/// Throws IoError / ParseError / Error with file:line or scenario-name
+/// context. The entries own their TraceSets (shared storage), so the cache
+/// may be destroyed afterwards; passing one in lets callers inspect
+/// hit/dedup stats or keep it hot across lists.
+inline std::vector<SweepEntry> load_sweep_list(const fs::path& list_file,
+                                               serve::TraceCache& cache) {
   std::ifstream in(list_file);
   if (!in)
     throw IoError("cannot open scenario list '" + list_file.string() + "'");
 
-  InputCache cache;
-  cache.base = list_file.has_parent_path() ? list_file.parent_path()
-                                           : fs::path(".");
+  InputResolver resolver(list_file.has_parent_path() ? list_file.parent_path()
+                                                     : fs::path("."),
+                         cache);
 
   KeyValues defaults;
   std::vector<SweepEntry> entries;
@@ -416,11 +110,16 @@ inline std::vector<SweepEntry> load_sweep_list(const fs::path& list_file) {
     KeyValues kv = defaults;
     const KeyValues own = parse_tokens(trimmed, list_file, line_no);
     for (const auto& [k, v] : own.kv) kv.kv[k] = v;
-    entries.push_back(build_scenario(kv, cache, entries.size()));
+    entries.push_back(build_scenario(kv, resolver, entries.size()));
   }
   if (entries.empty())
     throw Error("scenario list '" + list_file.string() + "' is empty");
   return entries;
+}
+
+inline std::vector<SweepEntry> load_sweep_list(const fs::path& list_file) {
+  serve::TraceCache cache;
+  return load_sweep_list(list_file, cache);
 }
 
 }  // namespace tir::tools

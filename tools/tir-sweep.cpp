@@ -31,6 +31,8 @@
 #include "obs/report.hpp"
 #include "replay/perturb.hpp"
 #include "replay/sweep.hpp"
+#include "serve/scenario_build.hpp"
+#include "serve/trace_cache.hpp"
 #include "sweep_list.hpp"
 
 using namespace tir;
@@ -49,7 +51,8 @@ namespace {
 
 /// Expands the parsed entries into the flat scenario vector the runner
 /// consumes: deterministic rows pass through; perturbed rows bake their
-/// replica fault timelines.
+/// replica fault timelines through the same serve::bake_replica the daemon
+/// uses for replica= requests.
 std::vector<replay::ScenarioSpec> expand_entries(
     const std::vector<tools::SweepEntry>& entries) {
   std::vector<replay::ScenarioSpec> scenarios;
@@ -59,15 +62,8 @@ std::vector<replay::ScenarioSpec> expand_entries(
       continue;
     }
     const int replicas = entry.mc > 0 ? entry.mc : 1;
-    for (int r = 0; r < replicas; ++r) {
-      replay::ScenarioSpec spec = entry.spec;
-      spec.name = entry.spec.name + "#r" + std::to_string(r);
-      auto faults = replay::expand_perturbation(
-          entry.perturb, *spec.platform, entry.seed,
-          static_cast<std::uint64_t>(r));
-      spec.faults.insert(spec.faults.end(), faults.begin(), faults.end());
-      scenarios.push_back(std::move(spec));
-    }
+    for (int r = 0; r < replicas; ++r)
+      scenarios.push_back(serve::bake_replica(entry, r));
     if (entry.mc > 0) {
       replay::ScenarioSpec spec = entry.spec;
       spec.name = entry.spec.name + "#baseline";
@@ -171,14 +167,21 @@ int main(int argc, char** argv) {
 
   try {
     const fs::path list_file(list_arg);
+    serve::TraceCache trace_cache;
     std::vector<replay::ScenarioSpec> scenarios =
-        expand_entries(tools::load_sweep_list(list_file));
+        expand_entries(tools::load_sweep_list(list_file, trace_cache));
     if (want_obs)
       for (auto& spec : scenarios) spec.config.record_spans = true;
 
     const replay::SweepRunner runner(options);
-    std::fprintf(stderr, "tir-sweep: %zu scenario(s) on %d worker(s)\n",
-                 scenarios.size(), runner.effective_workers(scenarios.size()));
+    const serve::TraceCacheStats tstats = trace_cache.stats();
+    std::fprintf(stderr,
+                 "tir-sweep: %zu scenario(s) on %d worker(s); traces: "
+                 "%llu decode(s), %llu cache hit(s), %llu content dedup(s)\n",
+                 scenarios.size(), runner.effective_workers(scenarios.size()),
+                 static_cast<unsigned long long>(tstats.misses),
+                 static_cast<unsigned long long>(tstats.hits),
+                 static_cast<unsigned long long>(tstats.dedups));
     const auto results = runner.run(scenarios);
 
     std::ostringstream os;
