@@ -24,7 +24,8 @@ ReplayResult Replayer::run() { return run_scenario(spec_, registry_); }
 ReplayResult replay_files(const std::filesystem::path& platform_xml,
                           const std::filesystem::path& deployment_xml,
                           const std::vector<std::filesystem::path>& traces,
-                          ReplayConfig config) {
+                          ReplayConfig config,
+                          trace::DecodePolicy decode) {
   // Both arguments are spec-aware: the platform resolves through the
   // topology registry ("dragonfly:groups=9,..." or a platform file), the
   // deployment accepts "block"/"roundrobin" besides a deployment file.
@@ -49,7 +50,8 @@ ReplayResult replay_files(const std::filesystem::path& platform_xml,
       files.push_back(path);
     }
   }
-  spec.traces = trace::TraceSet::per_process_files(files);
+  spec.traces = trace::TraceSet::per_process_files(
+      files, trace::DecodeMode::strict, decode);
   spec.process_hosts = plat::resolve_deployment_spec(
       deployment_xml.string(), *platform, spec.traces.nprocs());
   spec.config = config;

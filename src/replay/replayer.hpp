@@ -42,10 +42,13 @@ class Replayer {
 };
 
 /// Convenience wrapper: loads platform / deployment / traces from files
-/// (the Figure 4 workflow) and replays.
+/// (the Figure 4 workflow) and replays. `decode` picks the trace decode
+/// path (materialise vs bounded-memory streaming; automatic sizes it).
 ReplayResult replay_files(const std::filesystem::path& platform_xml,
                           const std::filesystem::path& deployment_xml,
                           const std::vector<std::filesystem::path>& traces,
-                          ReplayConfig config = {});
+                          ReplayConfig config = {},
+                          trace::DecodePolicy decode =
+                              trace::DecodePolicy::automatic);
 
 }  // namespace tir::replay

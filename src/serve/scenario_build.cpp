@@ -196,7 +196,8 @@ const plat::Deployment& InputResolver::deployment(const std::string& file) {
   return it->second;
 }
 
-CachedTrace InputResolver::traces(const std::string& spec, bool merged) {
+CachedTrace InputResolver::traces(const std::string& spec, bool merged,
+                                  trace::DecodePolicy decode) {
   std::string key;
   TraceCache::Loader load;
   if (merged) {
@@ -208,7 +209,10 @@ CachedTrace InputResolver::traces(const std::string& spec, bool merged) {
     const int nprocs =
         parse_int("merged=" + spec, spec.substr(colon + 1));
     key = "merged:" + canonical_path_key(file) + ":" + std::to_string(nprocs);
-    load = [file, nprocs] { return trace::TraceSet::merged_file(file, nprocs); };
+    load = [file, nprocs, decode] {
+      return trace::TraceSet::merged_file(file, nprocs,
+                                          trace::DecodeMode::strict, decode);
+    };
   } else {
     std::vector<fs::path> files;
     for (const auto& token : str::split(spec, ',')) {
@@ -229,7 +233,17 @@ CachedTrace InputResolver::traces(const std::string& spec, bool merged) {
       key += canonical_path_key(f);
       key += ',';
     }
-    load = [files] { return trace::TraceSet::per_process_files(files); };
+    load = [files, decode] {
+      return trace::TraceSet::per_process_files(
+          files, trace::DecodeMode::strict, decode);
+    };
+  }
+  // A forced policy changes the handle we hand out (index-backed vs
+  // materialised), so it gets its own alias; content dedup still collapses
+  // identical bytes because the digest ignores the decode path.
+  if (decode != trace::DecodePolicy::automatic) {
+    key += ";decode=";
+    key += trace::to_string(decode);
   }
 
   try {
@@ -261,11 +275,20 @@ SweepEntry build_scenario(const KeyValues& kv, InputResolver& resolver,
   spec.platform_label = *platform;
   entry.platform_key = resolver.platform_key(*platform);
 
+  auto decode = trace::DecodePolicy::automatic;
+  if (const auto* policy = kv.find("decode")) {
+    try {
+      decode = trace::parse_decode_policy(*policy);
+    } catch (const std::exception& e) {
+      throw Error("scenario '" + spec.name + "': " + e.what());
+    }
+  }
+
   CachedTrace cached;
   if (const auto* merged = kv.find("merged")) {
-    cached = resolver.traces(*merged, /*merged=*/true);
+    cached = resolver.traces(*merged, /*merged=*/true, decode);
   } else if (const auto* traces = kv.find("traces")) {
-    cached = resolver.traces(*traces, /*merged=*/false);
+    cached = resolver.traces(*traces, /*merged=*/false, decode);
   } else {
     throw Error("scenario '" + spec.name + "': missing traces= or merged=");
   }

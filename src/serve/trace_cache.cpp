@@ -76,8 +76,10 @@ CachedTrace TraceCache::get(const std::string& source_key,
   try {
     const auto t0 = std::chrono::steady_clock::now();
     trace::TraceSet loaded = load();
-    out.digest = trace::digest(loaded);  // forces the full decode
-    out.bytes = trace::decoded_bytes(loaded);
+    // One full pass: materialising sets decode here; streaming sets are
+    // index-scanned and hashed without ever holding the actions.
+    out.digest = trace::digest(loaded);
+    out.bytes = loaded.resident_bytes();
     out.traces = std::move(loaded);
     out.decode_seconds = seconds_since(t0);
   } catch (...) {

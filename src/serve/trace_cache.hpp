@@ -15,7 +15,10 @@
 // the second decode discovers the same digest and is thrown away in favour
 // of the resident entry, so downstream result memoisation keys unify too.
 //
-// Eviction is LRU over a byte budget of decoded footprints. Concurrent
+// Eviction is LRU over a byte budget of resident footprints — the decoded
+// actions for a materialised set, the stream index for an index-backed one
+// (which is why a daemon can keep a 10^8-action trace "cached" in a few
+// kilobytes). Concurrent
 // misses on the same source key are single-flighted: one caller decodes,
 // the rest block and share the result (a thundering herd on a cold 10-GB
 // trace must not decode it per request).
@@ -47,7 +50,7 @@ struct TraceCacheOptions {
 struct CachedTrace {
   trace::TraceSet traces;
   trace::Digest digest;
-  std::uint64_t bytes = 0;       ///< decoded footprint of the entry
+  std::uint64_t bytes = 0;       ///< resident footprint of the entry
   bool hit = false;              ///< served without running the loader
   bool deduplicated = false;     ///< loader ran, content matched a resident
                                  ///< entry (kept the resident one)

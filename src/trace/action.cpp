@@ -98,8 +98,11 @@ std::string to_line(const Action& a) {
 }
 
 Action parse_line(std::string_view line) {
-  const auto tokens = str::split_ws(line);
-  if (tokens.size() < 2)
+  // At most 4 fields per action; the fixed-capacity split keeps this
+  // allocation-free — it runs once per action on the streaming decode path.
+  std::string_view tokens[5];
+  const std::size_t ntokens = str::split_ws(line, tokens, 5);
+  if (ntokens < 2)
     throw ParseError("trace line needs at least '<pid> <action>': '" +
                      std::string(line) + "'");
   Action a;
@@ -107,7 +110,7 @@ Action parse_line(std::string_view line) {
   a.type = action_type_from_keyword(tokens[1]);
 
   const auto need = [&](std::size_t n) {
-    if (tokens.size() != n)
+    if (ntokens != n)
       throw ParseError("wrong field count for '" + std::string(tokens[1]) +
                        "' in '" + std::string(line) + "'");
   };
@@ -128,11 +131,11 @@ Action parse_line(std::string_view line) {
       break;
     case ActionType::recv:
     case ActionType::irecv:
-      if (tokens.size() != 3 && tokens.size() != 4)
+      if (ntokens != 3 && ntokens != 4)
         throw ParseError("recv takes a source and an optional volume: '" +
                          std::string(line) + "'");
       a.partner = parse_pid(tokens[2]);
-      if (tokens.size() == 4) a.volume = str::to_double(tokens[3]);
+      if (ntokens == 4) a.volume = str::to_double(tokens[3]);
       break;
     case ActionType::reduce:
     case ActionType::allreduce:

@@ -136,6 +136,11 @@ std::uint64_t BinaryTraceReader::byte_offset() {
   return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
 }
 
+void BinaryTraceReader::seek(std::uint64_t offset) {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+}
+
 std::uint64_t BinaryTraceReader::get_varint() {
   std::uint64_t value = 0;
   int shift = 0;

@@ -62,6 +62,14 @@ class BinaryTraceReader {
   /// failed state.
   std::uint64_t byte_offset();
 
+  /// Repositions to an absolute byte offset (a record boundary recorded by
+  /// byte_offset — the streaming index's segment starts). Clears any EOF
+  /// state first.
+  void seek(std::uint64_t offset);
+
+  /// The header's factored-out process id, or -1 for per-record pids.
+  int default_pid() const { return default_pid_; }
+
  private:
   std::uint64_t get_varint();
   double get_double();

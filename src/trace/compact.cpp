@@ -195,6 +195,48 @@ CompactProgram read_compact(const std::filesystem::path& path, int* pid_out) {
   return program;
 }
 
+std::uint64_t compact_expanded_hint(
+    const std::filesystem::path& path) noexcept {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return 0;
+    char magic[4];
+    in.read(magic, 4);
+    if (in.gcount() != 4 || std::memcmp(magic, kCompactMagic, 4) != 0)
+      return 0;
+    if (in.get() != kCompactVersion) return 0;
+    const auto get_varint = [&in]() -> std::uint64_t {
+      std::uint64_t value = 0;
+      int shift = 0;
+      for (;;) {
+        const int byte = in.get();
+        if (byte == EOF) throw ParseError("truncated varint");
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) return value;
+        shift += 7;
+        if (shift > 63) throw ParseError("varint overflow");
+      }
+    };
+    get_varint();  // pid
+    const std::uint64_t blocks = get_varint();
+    std::uint64_t total = 0;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      // Same uint32 narrowing read_compact applies to the loop count.
+      const auto count = static_cast<std::uint32_t>(get_varint());
+      const std::uint64_t body = get_varint();
+      for (std::uint64_t k = 0; k < body; ++k) {
+        const std::uint64_t len = get_varint();
+        in.seekg(static_cast<std::streamoff>(len), std::ios::cur);
+        if (!in) throw ParseError("truncated action");
+      }
+      total += static_cast<std::uint64_t>(count) * body;
+    }
+    return total;
+  } catch (...) {
+    return 0;
+  }
+}
+
 bool is_compact_trace(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;

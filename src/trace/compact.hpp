@@ -53,6 +53,14 @@ CompactProgram read_compact(const std::filesystem::path& path, int* pid_out =
 /// True when the file starts with the compact-trace magic.
 bool is_compact_trace(const std::filesystem::path& path);
 
+/// Expanded action count read from the container framing alone — loop
+/// counts and body lengths, skipping over the body bytes. Orders of
+/// magnitude cheaper than decoding (no action parsing, no allocation);
+/// the automatic decode-policy threshold uses it to spot a small file that
+/// expands into a huge trace. Returns 0 on any error (not compact,
+/// truncated, unreadable).
+std::uint64_t compact_expanded_hint(const std::filesystem::path& path) noexcept;
+
 /// Streams the expansion without materialising it (replay input).
 class CompactSource final : public ActionSource {
  public:

@@ -46,24 +46,29 @@ std::string Digest::hex() const {
 }
 
 Digest digest(const TraceSet& traces) {
+  // One pass over open() cursors: a streaming set is hashed without ever
+  // materialising a stream, and a materialised set walks its decoded
+  // vectors — the word sequence (and so the digest) is identical because
+  // action_count(pid) equals the stream length in both modes.
   Hash128 h;
   const int nprocs = traces.nprocs();
   h.mix(static_cast<std::uint64_t>(nprocs));
   for (int pid = 0; pid < nprocs; ++pid) {
-    const std::vector<Action>& stream = traces.actions(pid);
     h.mix(static_cast<std::uint64_t>(pid));
-    h.mix(static_cast<std::uint64_t>(stream.size()));
-    for (const Action& a : stream) {
+    h.mix(traces.action_count(pid));
+    const auto source = traces.open(pid);
+    while (const auto a = source->next()) {
       // a.pid is omitted on purpose: the stream index is the identity. A
       // merged file stores explicit pids and a split compact file factors
       // them out — same logical trace, and the decoder already routed each
       // action to its stream.
-      h.mix(static_cast<std::uint64_t>(a.type));
-      h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.partner)));
-      h.mix_double(a.volume);
-      h.mix_double(a.volume2);
+      h.mix(static_cast<std::uint64_t>(a->type));
+      h.mix(
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(a->partner)));
+      h.mix_double(a->volume);
+      h.mix_double(a->volume2);
       h.mix(static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(a.comm_size)));
+          static_cast<std::int64_t>(a->comm_size)));
     }
   }
   return Digest{h.hi, h.lo};

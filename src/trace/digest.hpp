@@ -32,8 +32,10 @@ struct Digest {
   std::string hex() const;
 };
 
-/// Hashes every decoded action stream (forces a decode of every file).
-/// Deterministic across encodings, layouts, processes and runs.
+/// Hashes every action stream in one pass over open() cursors.
+/// Deterministic across encodings, layouts, processes, runs — and decode
+/// policies: a streaming set digests bit-identically to a materialised one
+/// without the actions ever being held in memory at once.
 Digest digest(const TraceSet& traces);
 
 /// Decoded in-memory footprint in bytes (forces a decode): what a cache

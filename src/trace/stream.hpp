@@ -1,0 +1,108 @@
+// Streaming decode: per-file skip indexes and cursor-backed ActionSources.
+//
+// At NPB class D/E sizes a trace stops fitting in RAM, so TraceSet grows a
+// second decode path: one cheap validating pass per file builds a
+// StreamIndex — per-pid byte-offset segments for the text/binary codecs,
+// per-block offsets for the compact ("TIRC") codec, plus the action counts
+// and aggregate statistics every consumer (digest, stats, coverage) needs
+// up front — and replay then pulls actions through cursors that re-read the
+// file from those offsets instead of materialised vectors. Peak memory is
+// the index plus one cursor's working set (a text line, a binary record, or
+// one compact block body), independent of trace length.
+//
+// Fidelity contract: the indexed pass surfaces exactly the errors the
+// materialised decode would (same exception types and messages, same
+// lenient-salvage truncation points), and a cursor yields an action
+// sequence element-identical to TraceSet::actions(pid). The differential
+// batteries in tests/stream_trace_test.cpp and tests/codec_fuzz_test.cpp
+// hold both paths to that contract.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_set.hpp"
+
+namespace tir::trace {
+
+/// One file's skip index. Text and binary files index as pid *segments*
+/// (maximal runs of one process's records, so a merged file streams per pid
+/// without scanning other processes' bytes); compact files index as loop
+/// blocks (the cursor re-parses one body at a time and replays its repeat
+/// count from memory).
+struct StreamIndex {
+  enum class Kind {
+    text,
+    binary,
+    compact,
+    fallback,  ///< not streamable: the caller must materialise this file
+  };
+
+  struct Segment {
+    int pid = -1;  ///< -1 in split layout (actions kept verbatim)
+    std::uint64_t offset = 0;  ///< byte offset of the run's first record
+    std::uint64_t count = 0;   ///< actions in the run
+  };
+
+  struct Block {
+    std::uint64_t offset = 0;        ///< byte offset of the block header
+    std::uint32_t repeat = 0;        ///< loop count
+    std::uint64_t body_actions = 0;  ///< actions per repetition
+  };
+
+  Kind kind = Kind::fallback;
+  std::filesystem::path path;
+  int default_pid = -1;  ///< binary header pid; -1 = per-record pids
+
+  std::vector<Segment> segments;  ///< text / binary
+  std::vector<Block> blocks;      ///< compact
+
+  /// Actions the indexed (clean, distributed) part of the file holds; for
+  /// compact files this is the *expanded* count.
+  std::uint64_t total_actions = 0;
+
+  /// Aggregate statistics over exactly those actions. Compact bodies are
+  /// accounted once and scaled by their repeat count, so this is O(stored
+  /// records) even for a 10^8-action trace.
+  TraceStats stats;
+
+  /// Same values the materialised lenient decode would report.
+  SalvageInfo salvage;
+
+  /// Actions belonging to `pid` (merged layout: sum over its segments).
+  std::uint64_t action_count(int pid) const;
+
+  /// Heap footprint of the index itself — what a cache entry holding a
+  /// streamed TraceSet keeps resident.
+  std::uint64_t resident_bytes() const;
+};
+
+/// Maximum segments indexed per file. A merged trace written per-process
+/// (the only layout the writers produce) needs nprocs segments; a
+/// pathologically interleaved file would need one per action, so past this
+/// cap the builder gives up (Kind::fallback) and the file decodes
+/// materialised instead — the index must never grow with trace length.
+constexpr std::size_t kMaxStreamSegments = 65536;
+
+/// Builds the index in one validating pass. `merged_nprocs < 0` indexes a
+/// split-layout file (per-record pids kept verbatim, no range checks);
+/// `merged_nprocs >= 0` applies merged semantics: actions split into
+/// per-pid segments and a pid outside [0, nprocs) is corruption — strict
+/// mode throws, lenient mode truncates, with the messages and salvage
+/// byte counts matching the materialised decode exactly. Merged compact
+/// files are not streamable (loop bodies interleave pids) and come back as
+/// Kind::fallback.
+StreamIndex build_stream_index(const std::filesystem::path& path,
+                               DecodeMode mode, int merged_nprocs);
+
+/// Opens a bounded-memory cursor over the indexed file. `pid_filter >= 0`
+/// walks only that pid's segments (merged layout); -1 walks everything
+/// (split layout). `owner` is pinned for the cursor's lifetime (the
+/// TraceSet storage). Precondition: index->kind != Kind::fallback.
+std::unique_ptr<ActionSource> open_stream(
+    std::shared_ptr<const StreamIndex> index, int pid_filter,
+    std::shared_ptr<void> owner);
+
+}  // namespace tir::trace

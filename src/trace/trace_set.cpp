@@ -5,6 +5,8 @@
 
 #include "support/error.hpp"
 #include "trace/codec.hpp"
+#include "trace/compact.hpp"
+#include "trace/stream.hpp"
 
 namespace tir::trace {
 
@@ -53,11 +55,59 @@ struct TraceSet::Storage {
   enum class Layout { split, merged, memory } layout = Layout::memory;
   int nprocs = 0;
   DecodeMode mode = DecodeMode::strict;
+  DecodePolicy policy = DecodePolicy::automatic;
   std::vector<std::filesystem::path> files;
   std::vector<std::vector<Action>> decoded;       // index = pid
   std::vector<SalvageInfo> salvage;               // index = file
   std::unique_ptr<std::once_flag[]> decode_once;  // one per file
   std::atomic<std::uint64_t> decodes{0};
+
+  // Streaming state. The decision (and every index build) happens once, on
+  // first consumption; strict-mode index errors propagate and the decision
+  // is retried, matching materialised error timing.
+  std::once_flag policy_once;
+  bool effective_stream = false;
+  std::vector<std::shared_ptr<const StreamIndex>> index;  // one per file
+  std::atomic<std::uint64_t> index_builds{0};
+
+  bool wants_stream() const {
+    if (layout == Layout::memory) return false;
+    if (policy == DecodePolicy::materialise) return false;
+    if (policy == DecodePolicy::stream) return true;
+    // Automatic: stream when the set is big — on disk, or after expanding
+    // compact loop counts (a tiny TIRC file can hide 10^8 actions).
+    std::uint64_t bytes = 0;
+    std::uint64_t expanded = 0;
+    for (const auto& f : files) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(f, ec);
+      if (!ec) bytes += size;
+      if (is_compact_trace(f)) expanded += compact_expanded_hint(f);
+    }
+    return bytes > kAutoStreamBytes || expanded > kAutoStreamActions;
+  }
+
+  /// Decides the effective decode path and, when streaming, builds every
+  /// file's index up front. Any unstreamable file (merged compact, overly
+  /// interleaved pids) makes the whole set fall back to materialising so
+  /// the two paths never mix within one storage.
+  void ensure_policy() {
+    std::call_once(policy_once, [&] {
+      if (!wants_stream()) return;
+      const int merged_nprocs = layout == Layout::merged ? nprocs : -1;
+      std::vector<std::shared_ptr<const StreamIndex>> built;
+      built.reserve(files.size());
+      for (const auto& f : files) {
+        auto idx = std::make_shared<StreamIndex>(
+            build_stream_index(f, mode, merged_nprocs));
+        index_builds.fetch_add(1, std::memory_order_relaxed);
+        if (idx->kind == StreamIndex::Kind::fallback) return;
+        built.push_back(std::move(idx));
+      }
+      index = std::move(built);
+      effective_stream = true;
+    });
+  }
 
   /// Decodes one file honouring the mode: strict throws on corrupt input,
   /// lenient keeps the clean prefix and records the outcome in `salvage`.
@@ -155,13 +205,14 @@ TraceSet::TraceSet() : storage_(std::make_shared<Storage>()) {}
 TraceSet::~TraceSet() = default;
 
 TraceSet TraceSet::per_process_files(std::vector<std::filesystem::path> files,
-                                     DecodeMode mode) {
+                                     DecodeMode mode, DecodePolicy policy) {
   if (files.empty()) throw Error("TraceSet: no trace files");
   TraceSet set;
   set.storage_ = std::make_shared<Storage>();
   set.storage_->layout = Storage::Layout::split;
   set.storage_->nprocs = static_cast<int>(files.size());
   set.storage_->mode = mode;
+  set.storage_->policy = policy;
   set.storage_->files = std::move(files);
   set.storage_->decoded.resize(set.storage_->files.size());
   set.storage_->salvage.resize(set.storage_->files.size());
@@ -171,13 +222,14 @@ TraceSet TraceSet::per_process_files(std::vector<std::filesystem::path> files,
 }
 
 TraceSet TraceSet::merged_file(std::filesystem::path file, int nprocs,
-                               DecodeMode mode) {
+                               DecodeMode mode, DecodePolicy policy) {
   if (nprocs <= 0) throw Error("TraceSet: nprocs must be positive");
   TraceSet set;
   set.storage_ = std::make_shared<Storage>();
   set.storage_->layout = Storage::Layout::merged;
   set.storage_->nprocs = nprocs;
   set.storage_->mode = mode;
+  set.storage_->policy = policy;
   set.storage_->files.push_back(std::move(file));
   set.storage_->decoded.resize(static_cast<std::size_t>(nprocs));
   set.storage_->salvage.resize(1);
@@ -204,14 +256,47 @@ const std::vector<Action>& TraceSet::actions(int pid) const {
 }
 
 std::unique_ptr<ActionSource> TraceSet::open(int pid) const {
+  Storage& s = *storage_;
+  if (pid < 0 || pid >= s.nprocs)
+    throw Error("TraceSet: invalid process id " + std::to_string(pid));
+  s.ensure_policy();
+  if (s.effective_stream) {
+    const std::size_t file =
+        s.layout == Storage::Layout::split ? static_cast<std::size_t>(pid)
+                                           : 0;
+    const int filter = s.layout == Storage::Layout::merged ? pid : -1;
+    return open_stream(s.index[file], filter, storage_);
+  }
   return std::make_unique<DecodedSource>(storage_, &actions(pid));
 }
 
 TraceStats TraceSet::stats() const {
+  Storage& s = *storage_;
+  s.ensure_policy();
   TraceStats total;
-  for (int p = 0; p < storage_->nprocs; ++p)
-    for (const Action& a : actions(p)) total.account(a);
+  if (s.effective_stream) {
+    // The index builders already accounted every distributed action.
+    for (const auto& idx : s.index) total += idx->stats;
+    return total;
+  }
+  for (int p = 0; p < s.nprocs; ++p) {
+    const auto source = open(p);
+    while (const auto a = source->next()) total.account(*a);
+  }
   return total;
+}
+
+std::uint64_t TraceSet::action_count(int pid) const {
+  Storage& s = *storage_;
+  if (pid < 0 || pid >= s.nprocs)
+    throw Error("TraceSet: invalid process id " + std::to_string(pid));
+  s.ensure_policy();
+  if (s.effective_stream) {
+    if (s.layout == Storage::Layout::split)
+      return s.index[static_cast<std::size_t>(pid)]->total_actions;
+    return s.index[0]->action_count(pid);
+  }
+  return actions(pid).size();
 }
 
 std::uint64_t TraceSet::disk_bytes() const {
@@ -230,13 +315,47 @@ std::uint64_t TraceSet::decode_count() const {
 
 DecodeMode TraceSet::decode_mode() const { return storage_->mode; }
 
+DecodePolicy TraceSet::decode_policy() const { return storage_->policy; }
+
+bool TraceSet::streaming() const {
+  storage_->ensure_policy();
+  return storage_->effective_stream;
+}
+
+std::uint64_t TraceSet::index_count() const {
+  return storage_->index_builds.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSet::resident_bytes() const {
+  Storage& s = *storage_;
+  s.ensure_policy();
+  std::uint64_t bytes = 0;
+  if (s.effective_stream) {
+    for (const auto& idx : s.index) bytes += idx->resident_bytes();
+    return bytes;
+  }
+  for (int p = 0; p < s.nprocs; ++p)
+    bytes += actions(p).size() * sizeof(Action) +
+             sizeof(std::vector<Action>);
+  return bytes;
+}
+
 double TraceSet::coverage() const {
-  storage_->decode_all();
+  Storage& s = *storage_;
+  s.ensure_policy();
   std::uint64_t consumed = 0;
   std::uint64_t total = 0;
-  for (const SalvageInfo& s : storage_->salvage) {
-    consumed += s.bytes_consumed;
-    total += s.bytes_total;
+  if (s.effective_stream) {
+    for (const auto& idx : s.index) {
+      consumed += idx->salvage.bytes_consumed;
+      total += idx->salvage.bytes_total;
+    }
+  } else {
+    s.decode_all();
+    for (const SalvageInfo& info : s.salvage) {
+      consumed += info.bytes_consumed;
+      total += info.bytes_total;
+    }
   }
   return total == 0 ? 1.0
                     : static_cast<double>(consumed) /
@@ -244,8 +363,37 @@ double TraceSet::coverage() const {
 }
 
 std::vector<SalvageInfo> TraceSet::salvage_report() const {
-  storage_->decode_all();
-  return storage_->salvage;
+  Storage& s = *storage_;
+  s.ensure_policy();
+  if (s.effective_stream) {
+    std::vector<SalvageInfo> report;
+    report.reserve(s.index.size());
+    for (const auto& idx : s.index) report.push_back(idx->salvage);
+    return report;
+  }
+  s.decode_all();
+  return s.salvage;
+}
+
+DecodePolicy parse_decode_policy(std::string_view text) {
+  if (text == "stream") return DecodePolicy::stream;
+  if (text == "materialise" || text == "materialize")
+    return DecodePolicy::materialise;
+  if (text == "auto" || text == "automatic") return DecodePolicy::automatic;
+  throw ParseError("invalid decode policy '" + std::string(text) +
+                   "' (stream|materialise|auto)");
+}
+
+std::string_view to_string(DecodePolicy policy) {
+  switch (policy) {
+    case DecodePolicy::materialise:
+      return "materialise";
+    case DecodePolicy::stream:
+      return "stream";
+    case DecodePolicy::automatic:
+      break;
+  }
+  return "auto";
 }
 
 }  // namespace tir::trace

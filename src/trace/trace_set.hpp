@@ -18,6 +18,8 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/action.hpp"
@@ -59,16 +61,41 @@ struct SalvageInfo {
   std::uint64_t bytes_total = 0;
 };
 
+/// How file-backed traces are decoded for consumption.
+enum class DecodePolicy {
+  materialise,  ///< decode each file into in-memory action vectors
+  stream,       ///< build per-file offset indexes; open() yields cursors
+                ///< that re-read the file in bounded memory
+  automatic,    ///< stream iff the set is large (disk bytes or expanded
+                ///< compact actions above a threshold); the default
+};
+
+/// Parses "stream" / "materialise" ("materialize") / "auto" ("automatic").
+/// Throws tir::ParseError on anything else.
+DecodePolicy parse_decode_policy(std::string_view text);
+
+/// Canonical spelling ("stream", "materialise", "auto").
+std::string_view to_string(DecodePolicy policy);
+
+/// Automatic-policy thresholds: a set streams when its on-disk footprint or
+/// its compact-expanded action count (read from container framing alone)
+/// exceeds these.
+constexpr std::uint64_t kAutoStreamBytes = 64ull << 20;   // 64 MiB on disk
+constexpr std::uint64_t kAutoStreamActions = 4'000'000;   // expanded actions
+
 class TraceSet {
  public:
   /// One file per process; index in the vector = process id. Each file may
   /// be text, binary or compact (detected by magic).
   static TraceSet per_process_files(std::vector<std::filesystem::path> files,
-                                    DecodeMode mode = DecodeMode::strict);
+                                    DecodeMode mode = DecodeMode::strict,
+                                    DecodePolicy policy =
+                                        DecodePolicy::automatic);
 
   /// A single merged file; `nprocs` process streams are filtered out of it.
   static TraceSet merged_file(std::filesystem::path file, int nprocs,
-                              DecodeMode mode = DecodeMode::strict);
+                              DecodeMode mode = DecodeMode::strict,
+                              DecodePolicy policy = DecodePolicy::automatic);
 
   /// In-memory actions (index = process id).
   static TraceSet in_memory(std::vector<std::vector<Action>> actions);
@@ -85,25 +112,59 @@ class TraceSet {
 
   int nprocs() const;
 
-  /// Opens a cursor over process `pid`'s decoded actions, starting from the
-  /// beginning. Cheap after the first call per file: the decoded actions are
-  /// cached in the shared storage. Thread-safe.
+  /// Opens a cursor over process `pid`'s actions, starting from the
+  /// beginning. Under the materialise policy the cursor walks the cached
+  /// decoded vector (cheap after the first call per file); when the set
+  /// streams, it re-reads the file from the offset index in bounded memory.
+  /// Either way the yielded sequence is element-identical. Thread-safe.
   std::unique_ptr<ActionSource> open(int pid) const;
 
   /// Direct view of process `pid`'s decoded actions (decodes on first use).
   /// The reference stays valid for the storage's lifetime. Thread-safe.
+  /// NOTE: this *materialises* the stream even when the set's policy is
+  /// streaming — random-access consumers (truncate_consistent, compaction)
+  /// need the vector. Bounded-memory consumers must use open()/stats()/
+  /// action_count() instead.
   const std::vector<Action>& actions(int pid) const;
 
-  /// Statistics over every stream (decodes on first use). Thread-safe.
+  /// Statistics over every stream. Streaming sets answer from the offset
+  /// indexes (no action is revisited, O(files) after the index is built);
+  /// materialised sets walk open() cursors. Thread-safe.
   TraceStats stats() const;
+
+  /// Number of actions in process `pid`'s stream. Index-backed (O(1)) for
+  /// streaming sets; materialises the stream otherwise. Thread-safe.
+  std::uint64_t action_count(int pid) const;
 
   /// Total on-disk size in bytes (0 for in-memory traces).
   std::uint64_t disk_bytes() const;
 
   /// Number of file-decode passes performed so far by this storage. Stays
   /// bounded by the file count forever — the hook sweep tests use to prove
-  /// traces are parsed once regardless of scenario count.
+  /// traces are parsed once regardless of scenario count. Streaming sets
+  /// count index builds separately (index_count), not here.
   std::uint64_t decode_count() const;
+
+  // -- streaming decode ----------------------------------------------------
+
+  /// The policy this set was created with.
+  DecodePolicy decode_policy() const;
+
+  /// True when the set actually streams: policy resolved to stream (or
+  /// automatic crossed the size threshold) and every file indexed cleanly.
+  /// A file the indexer cannot stream (e.g. a merged compact trace) makes
+  /// the whole set fall back to materialising. First call decides and
+  /// builds the indexes; thread-safe.
+  bool streaming() const;
+
+  /// Index builds performed so far (the streaming analogue of
+  /// decode_count; bounded by the file count).
+  std::uint64_t index_count() const;
+
+  /// Resident heap footprint: offset indexes for a streaming set, decoded
+  /// action vectors for a materialised one (forces the decode in that
+  /// case). What a cache entry holding this set keeps alive.
+  std::uint64_t resident_bytes() const;
 
   // -- salvage reporting (lenient mode) ------------------------------------
 

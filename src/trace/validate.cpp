@@ -81,12 +81,17 @@ struct IssueSink {
   }
 };
 
-void check_stream(const std::vector<Action>& stream, int pid, int nprocs,
-                  IssueSink& sink) {
+/// Linear per-rank checks over a cursor (no stream is ever materialised —
+/// tir-validate on a 10^8-action trace runs in bounded memory). Returns the
+/// stream's action count.
+std::uint64_t check_stream(ActionSource& source, int pid, int nprocs,
+                           IssueSink& sink) {
   std::int64_t pending = 0;
-  for (std::size_t i = 0; i < stream.size(); ++i) {
-    const Action& a = stream[i];
-    const auto index = static_cast<std::int64_t>(i);
+  std::uint64_t count = 0;
+  while (const auto action = source.next()) {
+    const Action& a = *action;
+    const auto index = static_cast<std::int64_t>(count);
+    ++count;
     if (a.pid != pid)
       sink.error(pid, index,
                  "action labelled for process " + std::to_string(a.pid) +
@@ -128,9 +133,27 @@ void check_stream(const std::vector<Action>& stream, int pid, int nprocs,
     }
   }
   if (pending > 0)
-    sink.warning(pid, static_cast<std::int64_t>(stream.size()) - 1,
+    sink.warning(pid, static_cast<std::int64_t>(count) - 1,
                  "stream ends with " + std::to_string(pending) +
                      " pending request(s)");
+  return count;
+}
+
+/// Per-(src,dst) traffic tally. Counts are always exact; the declared
+/// volumes are only *stored* (for FIFO volume agreement checks) up to a
+/// global budget so a huge trace cannot blow the validator's memory.
+struct PairFlow {
+  std::uint64_t count = 0;
+  std::vector<double> volumes;
+};
+
+constexpr std::uint64_t kMaxStoredVolumes = 4'000'000;  // 32 MiB of doubles
+
+/// Advances `source` to its next collective action's type.
+std::optional<ActionType> next_collective(ActionSource& source) {
+  while (const auto a = source.next())
+    if (is_collective(a->type)) return a->type;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -140,78 +163,108 @@ ValidateReport validate(const TraceSet& traces) {
   report.nprocs = traces.nprocs();
   IssueSink sink{report.issues};
 
-  // Per-rank linear checks.
+  // Per-rank linear checks, one cursor pass per rank.
   for (int p = 0; p < report.nprocs; ++p) {
-    const auto& stream = traces.actions(p);
-    report.actions += stream.size();
-    check_stream(stream, p, report.nprocs, sink);
+    const auto source = traces.open(p);
+    report.actions += check_stream(*source, p, report.nprocs, sink);
   }
 
   // P2P matching: per ordered (src, dst) pair, sends and receives must pair
-  // up FIFO with agreeing volumes (a recv may omit its volume — 0).
-  std::map<std::pair<int, int>, std::vector<double>> sends, recvs;
+  // up FIFO with agreeing volumes (a recv may omit its volume — 0). Counts
+  // are tallied exactly; declared volumes are stored for the agreement
+  // check only up to a global budget (see kMaxStoredVolumes).
+  std::map<std::pair<int, int>, PairFlow> sends, recvs;
+  std::uint64_t stored_volumes = 0;
+  bool volumes_truncated = false;
+  const auto tally = [&](std::map<std::pair<int, int>, PairFlow>& flows,
+                         std::pair<int, int> key, double volume) {
+    PairFlow& flow = flows[key];
+    ++flow.count;
+    if (stored_volumes < kMaxStoredVolumes) {
+      flow.volumes.push_back(volume);
+      ++stored_volumes;
+    } else {
+      volumes_truncated = true;
+    }
+  };
   for (int p = 0; p < report.nprocs; ++p) {
-    for (const Action& a : traces.actions(p)) {
-      if (a.partner < 0 || a.partner >= report.nprocs) continue;
-      if (is_send(a.type)) sends[{p, a.partner}].push_back(a.volume);
-      if (is_recv(a.type)) recvs[{a.partner, p}].push_back(a.volume);
+    const auto source = traces.open(p);
+    while (const auto a = source->next()) {
+      if (a->partner < 0 || a->partner >= report.nprocs) continue;
+      if (is_send(a->type)) tally(sends, {p, a->partner}, a->volume);
+      if (is_recv(a->type)) tally(recvs, {a->partner, p}, a->volume);
     }
   }
   for (const auto& [pair, sent] : sends) {
     const auto it = recvs.find(pair);
-    const std::size_t nrecv = it == recvs.end() ? 0 : it->second.size();
-    if (sent.size() != nrecv)
+    const std::uint64_t nrecv = it == recvs.end() ? 0 : it->second.count;
+    if (sent.count != nrecv)
       sink.error(pair.first, -1,
-                 "p2p mismatch: " + std::to_string(sent.size()) +
+                 "p2p mismatch: " + std::to_string(sent.count) +
                      " send(s) to process " + std::to_string(pair.second) +
                      " but " + std::to_string(nrecv) + " matching recv(s)");
     if (it == recvs.end()) continue;
-    const std::size_t n = std::min(sent.size(), it->second.size());
+    const std::size_t n =
+        std::min(sent.volumes.size(), it->second.volumes.size());
     for (std::size_t i = 0; i < n; ++i) {
-      const double declared = it->second[i];
-      if (declared != 0.0 && declared != sent[i])
+      const double declared = it->second.volumes[i];
+      if (declared != 0.0 && declared != sent.volumes[i])
         sink.warning(pair.second, -1,
                      "message #" + std::to_string(i) + " from process " +
                          std::to_string(pair.first) + ": recv declares " +
                          std::to_string(declared) + " bytes but the send " +
-                         "carries " + std::to_string(sent[i]));
+                         "carries " + std::to_string(sent.volumes[i]));
     }
   }
   for (const auto& [pair, received] : recvs) {
     if (sends.find(pair) != sends.end()) continue;
     sink.error(pair.second, -1,
-               std::to_string(received.size()) + " recv(s) from process " +
+               std::to_string(received.count) + " recv(s) from process " +
                    std::to_string(pair.first) + " but no matching send");
   }
+  if (volumes_truncated)
+    sink.warning(-1, -1,
+                 "p2p volume agreement checked for the first " +
+                     std::to_string(kMaxStoredVolumes) +
+                     " messages only (trace too large); "
+                     "send/recv counts remain exact");
 
   // Collective participation: every rank must run the same sequence of
-  // collective types (MPI's matched-in-order rule). Compare against rank 0.
+  // collective types (MPI's matched-in-order rule). Compare against rank 0
+  // by co-iterating two cursors — no round sequence is ever materialised
+  // (rank 0's stream is re-read once per peer rank).
   if (report.nprocs > 1) {
-    std::vector<std::vector<ActionType>> rounds(
-        static_cast<std::size_t>(report.nprocs));
-    for (int p = 0; p < report.nprocs; ++p)
-      for (const Action& a : traces.actions(p))
-        if (is_collective(a.type))
-          rounds[static_cast<std::size_t>(p)].push_back(a.type);
-    const auto& ref = rounds[0];
     for (int p = 1; p < report.nprocs; ++p) {
-      const auto& mine = rounds[static_cast<std::size_t>(p)];
-      const std::size_t n = std::min(ref.size(), mine.size());
-      for (std::size_t r = 0; r < n; ++r) {
-        if (ref[r] != mine[r]) {
+      const auto ref_source = traces.open(0);
+      const auto my_source = traces.open(p);
+      std::uint64_t ref_n = 0;
+      std::uint64_t my_n = 0;
+      std::uint64_t round = 0;
+      bool mismatched = false;
+      for (;;) {
+        const auto ref = next_collective(*ref_source);
+        const auto mine = next_collective(*my_source);
+        if (ref) ++ref_n;
+        if (mine) ++my_n;
+        if (!ref || !mine) break;
+        if (!mismatched && *ref != *mine) {
           sink.error(p, -1,
-                     "collective round #" + std::to_string(r) + ": process 0 "
-                     "runs " + std::string(action_keyword(ref[r])) +
+                     "collective round #" + std::to_string(round) +
+                         ": process 0 runs " +
+                         std::string(action_keyword(*ref)) +
                          " but process " + std::to_string(p) + " runs " +
-                         std::string(action_keyword(mine[r])));
-          break;
+                         std::string(action_keyword(*mine)));
+          mismatched = true;
         }
+        ++round;
       }
-      if (ref.size() != mine.size())
+      while (next_collective(*ref_source)) ++ref_n;
+      while (next_collective(*my_source)) ++my_n;
+      if (ref_n != my_n)
         sink.error(p, -1,
                    "process " + std::to_string(p) + " participates in " +
-                       std::to_string(mine.size()) + " collective(s) but " +
-                       "process 0 in " + std::to_string(ref.size()));
+                       std::to_string(my_n) + " collective(s) but " +
+                       "process 0 in " + std::to_string(ref_n));
     }
   }
 

@@ -1,8 +1,10 @@
 // Codec round-trip fuzz: randomly generated *valid* multi-process action
 // streams survive every registered codec (text, binary, compact) exactly,
 // re-encoding is a byte-level fixpoint, cross-codec conversion chains
-// preserve the stream, and trace::validate reaches the same verdict
-// whichever on-disk format carried the trace.
+// preserve the stream, trace::validate reaches the same verdict whichever
+// on-disk format carried the trace, and the bounded-memory streaming
+// decoder yields element-identical sequences — including the salvage
+// truncation points lenient decode picks on corrupted files.
 //
 // Seeds are logged on every run; reproduce one case with
 //   TIR_FUZZ_SEED=<seed> ./test_extended --gtest_filter='*CodecFuzz*'
@@ -18,6 +20,7 @@
 
 #include "support/rng.hpp"
 #include "trace/codec.hpp"
+#include "trace/digest.hpp"
 #include "trace/trace_set.hpp"
 #include "trace/validate.hpp"
 
@@ -223,6 +226,84 @@ TEST_P(CodecFuzz, ValidateVerdictIsStableAcrossFormats) {
       trace::truncate_consistent(trace::TraceSet::in_memory(program_));
   EXPECT_EQ(cut.dropped, 0u);
   EXPECT_DOUBLE_EQ(cut.coverage, 1.0);
+}
+
+namespace {
+
+std::vector<Action> drain(const trace::TraceSet& set, int pid) {
+  std::vector<Action> out;
+  const auto source = set.open(pid);
+  while (const auto a = source->next()) out.push_back(*a);
+  return out;
+}
+
+}  // namespace
+
+TEST_P(CodecFuzz, StreamedDecodeIsElementIdenticalEveryCodec) {
+  for (const trace::TraceCodec* codec : trace::all_codecs()) {
+    std::vector<fs::path> files;
+    for (int p = 0; p < static_cast<int>(program_.size()); ++p) {
+      files.push_back(dir_ / ("stream" + std::to_string(p) + "." +
+                              std::string(codec->name())));
+      codec->encode(files.back(), program_[static_cast<std::size_t>(p)], p);
+    }
+    const auto mat = trace::TraceSet::per_process_files(
+        files, trace::DecodeMode::strict, trace::DecodePolicy::materialise);
+    const auto str = trace::TraceSet::per_process_files(
+        files, trace::DecodeMode::strict, trace::DecodePolicy::stream);
+    ASSERT_TRUE(str.streaming()) << codec->name();
+    for (int p = 0; p < static_cast<int>(program_.size()); ++p) {
+      EXPECT_EQ(drain(mat, p), drain(str, p))
+          << codec->name() << " pid " << p;
+      EXPECT_EQ(mat.action_count(p), str.action_count(p)) << codec->name();
+    }
+    EXPECT_EQ(trace::digest(mat), trace::digest(str)) << codec->name();
+    EXPECT_EQ(mat.stats().actions, str.stats().actions) << codec->name();
+  }
+}
+
+TEST_P(CodecFuzz, StreamedLenientSalvageMatchesMaterialised) {
+  // Truncate each codec's encoding of one stream at a random byte and
+  // lenient-decode both ways: the streaming index must pick exactly the
+  // same salvage point — same kept prefix, same bytes_consumed, same error
+  // text (compact is all-or-nothing; text and binary keep a clean prefix).
+  Rng rng(GetParam() ^ 0x5a11a6e);
+  for (const trace::TraceCodec* codec : trace::all_codecs()) {
+    const auto& actions = program_[0];
+    const fs::path whole =
+        dir_ / ("salvage_whole." + std::string(codec->name()));
+    codec->encode(whole, actions, 0);
+    const std::string bytes = read_bytes(whole);
+    ASSERT_GT(bytes.size(), 2u);
+    const std::size_t cut =
+        1 + static_cast<std::size_t>(rng.next_below(
+                static_cast<std::uint64_t>(bytes.size() - 1)));
+    const fs::path trunc =
+        dir_ / ("salvage_cut." + std::string(codec->name()));
+    {
+      std::ofstream out(trunc, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    SCOPED_TRACE(std::string(codec->name()) + " cut at " +
+                 std::to_string(cut) + "/" + std::to_string(bytes.size()));
+
+    const auto mat = trace::TraceSet::per_process_files(
+        {trunc}, trace::DecodeMode::lenient,
+        trace::DecodePolicy::materialise);
+    const auto str = trace::TraceSet::per_process_files(
+        {trunc}, trace::DecodeMode::lenient, trace::DecodePolicy::stream);
+
+    EXPECT_EQ(drain(mat, 0), drain(str, 0));
+    EXPECT_EQ(trace::digest(mat), trace::digest(str));
+
+    const auto msal = mat.salvage_report();
+    const auto ssal = str.salvage_report();
+    ASSERT_EQ(msal.size(), 1u);
+    ASSERT_EQ(ssal.size(), 1u);
+    EXPECT_EQ(msal[0].complete, ssal[0].complete);
+    EXPECT_EQ(msal[0].error, ssal[0].error);
+    EXPECT_EQ(msal[0].bytes_consumed, ssal[0].bytes_consumed);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,

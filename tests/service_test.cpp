@@ -22,6 +22,7 @@
 #include "support/error.hpp"
 #include "trace/codec.hpp"
 #include "trace/digest.hpp"
+#include "trace/synthetic.hpp"
 #include "trace/text_format.hpp"
 #include "trace/trace_set.hpp"
 
@@ -289,6 +290,91 @@ TEST(TraceCacheTest, LoaderFailurePropagatesAndKeyRetries) {
                       return trace::TraceSet::in_memory(ring_actions(2, 1));
                     }).hit);
   EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(TraceCacheTest, StreamedEntryAccountsIndexBytesAndDigestsIdentically) {
+  // An index-backed streamed TraceSet is "decoded" for cache purposes —
+  // digested, resident, hittable — but its byte footprint is the index,
+  // not the actions, so a huge trace barely dents the budget.
+  ScratchDir scratch("stream_cache");
+  trace::SyntheticSpec spec;
+  spec.nprocs = 4;
+  spec.iterations = 5000;
+  const auto files = trace::write_synthetic_traces(scratch.path, spec);
+
+  serve::TraceCache cache;
+  const auto streamed = cache.get("syn;decode=stream", [&] {
+    return trace::TraceSet::per_process_files(
+        files, trace::DecodeMode::strict, trace::DecodePolicy::stream);
+  });
+  ASSERT_TRUE(streamed.traces.streaming());
+  const std::uint64_t expanded =
+      trace::synthetic_actions(spec) * sizeof(trace::Action);
+  EXPECT_LT(streamed.bytes, expanded / 10);
+  EXPECT_EQ(cache.stats().resident_bytes, streamed.bytes);
+
+  // Same bytes materialised: full decode, same digest, content-deduped
+  // onto the resident streamed entry.
+  const auto materialised = cache.get("syn;decode=materialise", [&] {
+    return trace::TraceSet::per_process_files(
+        files, trace::DecodeMode::strict, trace::DecodePolicy::materialise);
+  });
+  EXPECT_EQ(materialised.digest, streamed.digest);
+  EXPECT_TRUE(materialised.deduplicated);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // Both aliases now hit without running a loader.
+  EXPECT_TRUE(cache.get("syn;decode=stream", [&]() -> trace::TraceSet {
+                     throw Error("loader must not run");
+                   }).hit);
+  EXPECT_TRUE(cache.get("syn;decode=materialise",
+                        [&]() -> trace::TraceSet {
+                          throw Error("loader must not run");
+                        }).hit);
+}
+
+TEST(TraceCacheTest, ChurnMixesStreamedAndMaterialisedEntries) {
+  // LRU churn over a mixed population: materialised entries carry real
+  // byte weight and evict each other; index-backed streamed entries are
+  // near-free and survive the same churn.
+  ScratchDir scratch("stream_churn");
+  trace::SyntheticSpec spec;
+  spec.nprocs = 2;
+  spec.iterations = 4000;
+  const auto files = trace::write_synthetic_traces(scratch.path, spec);
+
+  // Materialised entries big enough to dwarf a stream index's footprint.
+  const auto one = ring_actions(2, 50);
+  const std::uint64_t entry_bytes =
+      trace::decoded_bytes(trace::TraceSet::in_memory(one));
+  serve::TraceCacheOptions options;
+  options.byte_budget = 2 * entry_bytes;
+  serve::TraceCache cache(options);
+
+  const auto load_variant = [&](double volume) {
+    auto program = one;
+    program[0][0].volume = volume;
+    return trace::TraceSet::in_memory(program);
+  };
+  cache.get("mat_a", [&] { return load_variant(1.0); });
+  const auto streamed = cache.get("stream_b", [&] {
+    return trace::TraceSet::per_process_files(
+        files, trace::DecodeMode::strict, trace::DecodePolicy::stream);
+  });
+  ASSERT_TRUE(streamed.traces.streaming());
+  ASSERT_LT(streamed.bytes, entry_bytes);
+  cache.get("mat_c", [&] { return load_variant(3.0); });
+
+  // mat_a (LRU) was evicted to fit mat_c; the streamed index rode out the
+  // churn on its tiny footprint.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.get("stream_b", [&]() -> trace::TraceSet {
+                     throw Error("loader must not run");
+                   }).hit);
+  EXPECT_TRUE(cache.get("mat_c", [&]() -> trace::TraceSet {
+                     throw Error("loader must not run");
+                   }).hit);
+  EXPECT_FALSE(cache.get("mat_a", [&] { return load_variant(1.0); }).hit);
 }
 
 // ---------------------------------------------------------------------------
@@ -658,6 +744,82 @@ TEST(ReplayServiceTest, CrossEncodingRequestsHitOneMemoEntry) {
                         sizeof first.sim_time),
             0);
   EXPECT_EQ(service.stats().replays, 1u);
+}
+
+TEST(ReplayServiceTest, StreamedDecodeMemoHitsAcrossPoliciesBitIdentically) {
+  // decode= is a performance knob, not a semantic one: a report computed
+  // under decode=stream must serve a decode=materialise request from the
+  // memo (the memo key holds the content digest, which ignores the decode
+  // path) — and both must equal the cold reference bit for bit.
+  ServiceFixture fixture;
+  const auto program = ring_actions(4, 3);
+  write_encoded(fixture.scratch.path / "ti_compact", "compact", program);
+
+  serve::ReplayService service(fixture.options());
+  serve::Request request;
+  request.id = "streamed";
+  request.params = fixture.base_params;
+  request.params["traces"] = "ti_compact";
+  request.params["decode"] = "stream";
+  const auto first = service.run(request);
+  ASSERT_EQ(first.status, serve::Response::Status::ok) << first.error;
+  EXPECT_FALSE(first.memo_hit);
+
+  request.id = "materialised";
+  request.params["decode"] = "materialise";
+  const auto second = service.run(request);
+  ASSERT_EQ(second.status, serve::Response::Status::ok) << second.error;
+  EXPECT_TRUE(second.memo_hit);
+  EXPECT_EQ(second.trace_digest, first.trace_digest);
+  EXPECT_EQ(std::memcmp(&second.sim_time, &first.sim_time,
+                        sizeof first.sim_time),
+            0);
+  EXPECT_EQ(service.stats().replays, 1u);
+
+  const auto reference = fixture.cold(request.params);
+  ASSERT_EQ(reference.status, replay::ReplayStatus::ok);
+  EXPECT_EQ(std::memcmp(&first.sim_time, &reference.sim_time,
+                        sizeof reference.sim_time),
+            0);
+  EXPECT_EQ(first.actions_replayed, reference.result.actions_replayed);
+
+  // A bad decode value is rejected at build time with the scenario named.
+  request.id = "bad";
+  request.params["decode"] = "sideways";
+  const auto bad = service.run(request);
+  EXPECT_EQ(bad.status, serve::Response::Status::badrequest);
+  EXPECT_NE(bad.error.find("decode policy"), std::string::npos) << bad.error;
+}
+
+TEST(InputResolverTest, DecodePolicyKeysAliasesButContentUnifies) {
+  ScratchDir scratch("resolver_decode");
+  write_encoded(scratch.path / "ti", "text", ring_actions(2, 2));
+  serve::TraceCache cache;
+  serve::InputResolver resolver(scratch.path, cache);
+
+  const auto automatic = resolver.traces("ti", /*merged=*/false);
+  EXPECT_FALSE(automatic.traces.streaming());
+  EXPECT_FALSE(automatic.hit);
+
+  // A forced policy is its own alias, so its loader runs — but the content
+  // digest matches the resident materialised twin, which is shared. The
+  // decode knob is a load preference, not a content identity.
+  const auto streamed =
+      resolver.traces("ti", /*merged=*/false, trace::DecodePolicy::stream);
+  EXPECT_FALSE(streamed.hit);
+  EXPECT_TRUE(streamed.deduplicated);
+  EXPECT_EQ(streamed.digest, automatic.digest);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.aliases, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.dedups, 1u);
+
+  // Both aliases are now resident hits.
+  EXPECT_TRUE(resolver
+                  .traces("ti", /*merged=*/false,
+                          trace::DecodePolicy::stream)
+                  .hit);
 }
 
 TEST(ReplayServiceTest, IdenticalConcurrentRequestsSimulateOnce) {

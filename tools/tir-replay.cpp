@@ -22,6 +22,12 @@
 //                             coroutine switches (bit-identical results)
 //   --shards N                solve disconnected network components on N OS
 //                             threads (bit-identical results; default 1)
+//   --decode stream|materialise|auto
+//                             trace decode path: "stream" replays through a
+//                             bounded-memory offset index without loading
+//                             the actions, "materialise" decodes fully up
+//                             front, "auto" (default) streams only when the
+//                             trace is large (bit-identical either way)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,7 +48,8 @@ namespace {
                "--deployment FILE|block|roundrobin TRACE...|TRACEDIR \n"
                "  [--eager-threshold BYTES] [--collectives flat|binomial]\n"
                "  [--timed-trace FILE] [--profile] [--efficiency X]\n"
-               "  [--stats] [--full-solve] [--fast-path] [--shards N]\n",
+               "  [--stats] [--full-solve] [--fast-path] [--shards N]\n"
+               "  [--decode stream|materialise|auto]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +69,7 @@ int run(int argc, char** argv) {
   std::string platform_file, deployment_file, timed_file;
   std::vector<std::filesystem::path> traces;
   replay::ReplayConfig config;
+  auto decode = trace::DecodePolicy::automatic;
   bool want_profile = false;
   bool want_stats = false;
 
@@ -107,6 +115,8 @@ int run(int argc, char** argv) {
         throw ParseError("invalid value '" + text +
                          "' for --shards (integer in [1, 512])");
       config.shards = static_cast<int>(value);
+    } else if (arg == "--decode") {
+      decode = trace::parse_decode_policy(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -119,8 +129,8 @@ int run(int argc, char** argv) {
   if (platform_file.empty() || deployment_file.empty() || traces.empty())
     usage(argv[0]);
 
-  const auto result =
-      replay::replay_files(platform_file, deployment_file, traces, config);
+  const auto result = replay::replay_files(platform_file, deployment_file,
+                                           traces, config, decode);
   std::printf("processes:        %zu\n", traces.size());
   std::printf("actions replayed: %llu\n",
               static_cast<unsigned long long>(result.actions_replayed));
